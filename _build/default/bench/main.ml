@@ -1,0 +1,167 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) in Quick mode, then runs Bechamel
+   microbenchmarks of the implementation's hot paths.
+
+   Usage:  dune exec bench/main.exe [-- --full] [-- --only fig5,table2]
+     --full          longer measurement windows, denser sweeps
+     --only LIST     comma-separated experiment ids
+     --skip-micro    skip the Bechamel microbenchmarks *)
+
+open Reflex_experiments
+
+let mode = ref Common.Quick
+let only : string list ref = ref []
+let skip_micro = ref false
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+      mode := Common.Full;
+      go rest
+    | "--only" :: spec :: rest ->
+      only := String.split_on_char ',' spec;
+      go rest
+    | "--skip-micro" :: rest ->
+      skip_micro := true;
+      go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let enabled id = !only = [] || List.mem id !only
+
+let timed id f =
+  if enabled id then begin
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "[%s finished in %.1fs]\n\n%!" id (Unix.gettimeofday () -. t0)
+  end
+
+let experiments =
+  [
+    ( "fig1",
+      fun mode -> Reflex_stats.Table.print (Fig1.to_table (Fig1.run ~mode ())) );
+    ( "fig3",
+      fun mode -> List.iter Reflex_stats.Table.print (Fig3.to_tables (Fig3.run ~mode ())) );
+    ( "table2",
+      fun mode -> Reflex_stats.Table.print (Table2.to_table (Table2.run ~mode ())) );
+    ("fig4", fun mode -> Reflex_stats.Table.print (Fig4.to_table (Fig4.run ~mode ())));
+    ("fig5", fun mode -> Reflex_stats.Table.print (Fig5.to_table (Fig5.run ~mode ())));
+    ( "fig6a",
+      fun mode -> Reflex_stats.Table.print (Fig6.cores_table (Fig6.run_cores ~mode ())) );
+    ( "fig6b",
+      fun mode -> Reflex_stats.Table.print (Fig6.tenants_table (Fig6.run_tenants ~mode ())) );
+    ( "fig6c",
+      fun mode -> Reflex_stats.Table.print (Fig6.conns_table (Fig6.run_conns ~mode ())) );
+    ("fig7a", fun mode -> Reflex_stats.Table.print (Fig7.fio_table (Fig7.run_fio ~mode ())));
+    ( "fig7b",
+      fun mode -> Reflex_stats.Table.print (Fig7.flashx_table (Fig7.run_flashx ~mode ())) );
+    ( "fig7c",
+      fun mode -> Reflex_stats.Table.print (Fig7.rocksdb_table (Fig7.run_rocksdb ~mode ())) );
+    ( "ablations",
+      fun mode ->
+        Reflex_stats.Table.print (Ablations.neg_limit_table (Ablations.run_neg_limit ~mode ()));
+        Reflex_stats.Table.print (Ablations.donation_table (Ablations.run_donation ~mode ()));
+        Reflex_stats.Table.print (Ablations.batching_table (Ablations.run_batching ~mode ()));
+        Reflex_stats.Table.print (Ablations.cost_model_table (Ablations.run_cost_model ~mode ()))
+    );
+  ]
+
+(* ---------------- Bechamel microbenchmarks ---------------- *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let open Reflex_engine in
+  let open Reflex_qos in
+  (* Scheduler round: 8 LC + 8 BE tenants with queued work. *)
+  let sched_round =
+    Test.make ~name:"qos_scheduler_round"
+      (Staged.stage (fun () ->
+           let global = Global_bucket.create ~n_threads:1 in
+           let sched = Scheduler.create ~global ~thread_id:0 () in
+           for i = 1 to 8 do
+             Scheduler.add_tenant sched
+               (Tenant.create ~id:i
+                  ~slo:(Slo.latency_critical ~latency_us:500 ~iops:1000.0 ~read_pct:100)
+                  ~token_rate:1e6)
+           done;
+           for i = 9 to 16 do
+             Scheduler.add_tenant sched
+               (Tenant.create ~id:i ~slo:(Slo.best_effort ()) ~token_rate:1e5)
+           done;
+           for i = 1 to 16 do
+             for _ = 1 to 4 do
+               Scheduler.enqueue sched ~tenant_id:i ~cost:1.0 ()
+             done
+           done;
+           ignore (Scheduler.schedule sched ~now:(Time.us 100) ~submit:(fun _ -> ()))))
+  in
+  let codec_roundtrip =
+    let msg =
+      Reflex_proto.Message.Read_req { handle = 7; req_id = 42L; lba = 123L; len = 4096 }
+    in
+    let buf = Bytes.create 64 in
+    Test.make ~name:"proto_codec_roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Reflex_proto.Codec.encode_into msg buf 0);
+           ignore (Reflex_proto.Codec.decode buf 0)))
+  in
+  let hist_record =
+    let h = Reflex_stats.Hdr_histogram.create () in
+    Test.make ~name:"hdr_histogram_record"
+      (Staged.stage (fun () -> Reflex_stats.Hdr_histogram.record h 123_456L))
+  in
+  let flash_io =
+    Test.make ~name:"flash_model_4k_read"
+      (Staged.stage
+         (let sim = Sim.create () in
+          let dev =
+            Reflex_flash.Nvme_model.create sim
+              ~profile:Reflex_flash.Device_profile.device_a
+              ~prng:(Prng.create 1L)
+          in
+          fun () ->
+            Reflex_flash.Nvme_model.submit dev ~kind:Reflex_flash.Io_op.Read ~bytes:4096
+              (fun ~latency:_ -> ());
+            ignore (Sim.run sim)))
+  in
+  let heap_churn =
+    Test.make ~name:"sim_event_schedule_run"
+      (Staged.stage (fun () ->
+           let sim = Sim.create () in
+           for i = 1 to 64 do
+             ignore (Sim.at sim (Time.us i) (fun () -> ()))
+           done;
+           ignore (Sim.run sim)))
+  in
+  let tests = [ sched_round; codec_roundtrip; hist_record; flash_io; heap_churn ] in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance
+        raw
+    in
+    results
+  in
+  Printf.printf "== Bechamel microbenchmarks (ns/op) ==\n";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (t :: _) -> Printf.printf "%-28s %12.1f\n" name t
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        results)
+    tests;
+  print_newline ()
+
+let () =
+  parse_args ();
+  Printf.printf "ReFlex reproduction harness (%s mode)\n\n%!"
+    (match !mode with Common.Quick -> "quick" | Common.Full -> "full");
+  List.iter (fun (id, f) -> timed id (fun () -> f !mode)) experiments;
+  if (not !skip_micro) && enabled "micro" then micro_benchmarks ()

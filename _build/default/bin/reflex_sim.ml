@@ -1,0 +1,88 @@
+(* Command-line driver: run any paper experiment by id.
+
+     reflex_sim list
+     reflex_sim run fig5 [--full]
+     reflex_sim run all  [--full]                                    *)
+
+open Cmdliner
+open Reflex_experiments
+
+let experiments : (string * string * (Common.mode -> unit)) list =
+  [
+    ( "fig1",
+      "p95 read latency vs IOPS per read/write ratio (device A)",
+      fun mode -> Reflex_stats.Table.print (Fig1.to_table (Fig1.run ~mode ())) );
+    ( "fig3",
+      "request cost models and calibration fits for devices A/B/C",
+      fun mode -> List.iter Reflex_stats.Table.print (Fig3.to_tables (Fig3.run ~mode ())) );
+    ( "table2",
+      "unloaded 4KB latency across the six access paths",
+      fun mode -> Reflex_stats.Table.print (Table2.to_table (Table2.run ~mode ())) );
+    ( "fig4",
+      "latency vs throughput, 1KB reads: Local/ReFlex/Libaio x 1/2 threads",
+      fun mode -> Reflex_stats.Table.print (Fig4.to_table (Fig4.run ~mode ())) );
+    ( "fig5",
+      "QoS isolation: 2 LC + 2 BE tenants, scheduler on/off, 2 scenarios",
+      fun mode -> Reflex_stats.Table.print (Fig5.to_table (Fig5.run ~mode ())) );
+    ( "fig6a",
+      "multi-core scaling with per-core LC tenants",
+      fun mode -> Reflex_stats.Table.print (Fig6.cores_table (Fig6.run_cores ~mode ())) );
+    ( "fig6b",
+      "tenant scaling (100 IOPS per tenant)",
+      fun mode -> Reflex_stats.Table.print (Fig6.tenants_table (Fig6.run_tenants ~mode ())) );
+    ( "fig6c",
+      "TCP connection scaling on one core",
+      fun mode -> Reflex_stats.Table.print (Fig6.conns_table (Fig6.run_conns ~mode ())) );
+    ( "fig7a",
+      "FIO latency-throughput over local/iSCSI/ReFlex block devices",
+      fun mode -> Reflex_stats.Table.print (Fig7.fio_table (Fig7.run_fio ~mode ())) );
+    ( "fig7b",
+      "FlashX graph analytics slowdown vs local",
+      fun mode -> Reflex_stats.Table.print (Fig7.flashx_table (Fig7.run_flashx ~mode ())) );
+    ( "fig7c",
+      "RocksDB slowdown vs local",
+      fun mode -> Reflex_stats.Table.print (Fig7.rocksdb_table (Fig7.run_rocksdb ~mode ())) );
+    ( "ablations",
+      "design-choice studies: NEG_LIMIT, donation fraction, batching cap, cost model",
+      fun mode ->
+        Reflex_stats.Table.print (Ablations.neg_limit_table (Ablations.run_neg_limit ~mode ()));
+        Reflex_stats.Table.print (Ablations.donation_table (Ablations.run_donation ~mode ()));
+        Reflex_stats.Table.print (Ablations.batching_table (Ablations.run_batching ~mode ()));
+        Reflex_stats.Table.print (Ablations.cost_model_table (Ablations.run_cost_model ~mode ()))
+    );
+  ]
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment (or 'all') and print its table(s)." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"experiment id")
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
+  in
+  let run id full =
+    let mode = if full then Common.Full else Common.Quick in
+    if id = "all" then begin
+      List.iter (fun (_, _, f) -> f mode) experiments;
+      `Ok ()
+    end
+    else
+      match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+      | Some (_, _, f) ->
+        f mode;
+        `Ok ()
+      | None -> `Error (false, "unknown experiment: " ^ id ^ " (try 'list')")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id_arg $ full_arg))
+
+let () =
+  let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
+  let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/multi_tenant_slo.ml: Client_lib Load_gen Message Printf Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_proto Sim Time

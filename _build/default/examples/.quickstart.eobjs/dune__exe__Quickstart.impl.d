@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client_lib Fabric Load_gen Message Printf Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_proto Reflex_stats Sim Stack_model Time

@@ -1,0 +1,1 @@
+examples/remote_block_fio.ml: Access_path Fio Printf Reflex_apps Reflex_core Reflex_engine Reflex_net Sim Time

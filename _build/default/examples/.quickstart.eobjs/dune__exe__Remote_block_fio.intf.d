@@ -1,0 +1,1 @@
+examples/remote_block_fio.mli:

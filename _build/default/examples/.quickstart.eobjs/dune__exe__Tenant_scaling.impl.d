@@ -1,0 +1,1 @@
+examples/tenant_scaling.ml: Array Client_lib Fabric Float Int64 List Load_gen Message Printf Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_proto Sim Stack_model Time

@@ -1,0 +1,1 @@
+lib/apps/reflex_apps.ml: Access_path Fio Flashx Rocksdb Workload

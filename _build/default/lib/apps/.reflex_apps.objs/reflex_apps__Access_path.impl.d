@@ -1,0 +1,1 @@
+lib/apps/access_path.ml: Reflex_baselines Reflex_client

@@ -1,0 +1,1 @@
+lib/apps/access_path.mli: Io_op Reflex_baselines Reflex_engine Reflex_flash Reflex_net Reflex_proto Sim Time

@@ -1,0 +1,1 @@
+lib/apps/fio.ml: Access_path Array Float Hdr_histogram Int64 Prng Reflex_engine Reflex_stats Resource Sim Time Workload

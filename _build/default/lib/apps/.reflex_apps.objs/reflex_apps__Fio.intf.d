@@ -1,0 +1,1 @@
+lib/apps/fio.mli: Access_path Reflex_engine Sim Time

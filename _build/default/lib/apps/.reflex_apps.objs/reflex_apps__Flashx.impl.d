@@ -1,0 +1,1 @@
+lib/apps/flashx.ml: Reflex_engine Time Workload

@@ -1,0 +1,1 @@
+lib/apps/rocksdb.ml: Reflex_engine Time Workload

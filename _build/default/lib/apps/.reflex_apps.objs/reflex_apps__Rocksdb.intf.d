@@ -1,0 +1,1 @@
+lib/apps/rocksdb.mli: Access_path Reflex_engine Sim Time Workload

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Access_path Int64 Io_op List Prng Reflex_engine Reflex_flash Sim Time

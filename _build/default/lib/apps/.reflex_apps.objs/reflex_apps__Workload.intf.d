@@ -1,0 +1,1 @@
+lib/apps/workload.mli: Access_path Io_op Prng Reflex_engine Reflex_flash Sim Time

@@ -1,0 +1,17 @@
+
+type t =
+  | Local of Reflex_baselines.Local.t
+  | Remote of Reflex_client.Blk_dev.t
+
+let local l = Local l
+
+let remote sim fabric ~server_host ~accept ~n_contexts ~tenant ?slo () k =
+  Reflex_client.Blk_dev.create sim fabric ~server_host ~accept ~n_contexts ~tenant ?slo ()
+    (fun dev -> k (Remote dev))
+
+let submit t ~kind ~lba ~bytes k =
+  match t with
+  | Local l ->
+    ignore lba;
+    Reflex_baselines.Local.submit l ~kind ~bytes k
+  | Remote dev -> Reflex_client.Blk_dev.submit_bio dev ~kind ~lba ~bytes k

@@ -1,0 +1,40 @@
+open Reflex_engine
+
+type bench = { name : string; phases : Workload.phase list }
+
+(* Scaled to ~1/16 of the LiveJournal page footprint: the graph's 73.7M
+   vertex+edge records at ~16B each span ~288K 4KB pages; one analytics
+   pass touches each a small number of times.  Demand rates reflect how
+   compute-bound each algorithm is; serial phases model dependent
+   traversal (frontier expansion, component merging). *)
+
+let scans ~name ~passes ~demand ~serial_ios ~serial_think_us =
+  {
+    name;
+    phases =
+      [
+        Workload.Parallel
+          { ios = passes * 18_000; demand_iops = demand; window = 64; read_ratio = 1.0; bytes = 4096 };
+        Workload.Serial
+          {
+            ios = serial_ios;
+            think = Time.of_float_us serial_think_us;
+            read_ratio = 1.0;
+            bytes = 4096;
+          };
+      ];
+  }
+
+(* WCC and PageRank are compute-heavy scans whose page demand sits just
+   above the iSCSI message ceiling; little dependent I/O. *)
+let wcc = scans ~name:"WCC" ~passes:2 ~demand:80_000.0 ~serial_ios:60 ~serial_think_us:30.0
+let pagerank = scans ~name:"PR" ~passes:2 ~demand:78_000.0 ~serial_ios:80 ~serial_think_us:30.0
+
+(* BFS and SCC demand pages faster (less compute per page) and chase
+   pointers across levels/components. *)
+let bfs = scans ~name:"BFS" ~passes:1 ~demand:90_000.0 ~serial_ios:150 ~serial_think_us:15.0
+let scc = scans ~name:"SCC" ~passes:2 ~demand:90_000.0 ~serial_ios:200 ~serial_think_us:15.0
+
+let all = [ wcc; pagerank; bfs; scc ]
+
+let run sim path bench k = Workload.run sim path bench.phases k

@@ -1,0 +1,10 @@
+(** Application workload models for the paper's legacy-application
+    evaluation (Figure 7): FIO, FlashX graph analytics and RocksDB, all
+    running over a uniform {!Access_path} (local SPDK, ReFlex block
+    device, or a baseline remote server). *)
+
+module Access_path = Access_path
+module Workload = Workload
+module Fio = Fio
+module Flashx = Flashx
+module Rocksdb = Rocksdb

@@ -1,0 +1,24 @@
+(** RocksDB (db_bench) workload models (Figure 7c).
+
+    The paper places a 43GB database and its write-ahead log on Flash
+    (ext4 over the local NVMe driver, the ReFlex block device, or iSCSI),
+    with cgroups bounding the page cache, and runs three db_bench
+    workloads:
+
+    - bulkload (BL): write-heavy ingestion + compaction — bounded by the
+      Flash device's write bandwidth, so local and remote perform alike;
+    - randomread (RR): many reader threads issuing 4KB point lookups —
+      throughput-sensitive;
+    - readwhilewriting (RwW): point lookups against a background writer —
+      throughput-sensitive with write interference. *)
+
+open Reflex_engine
+
+type bench = { name : string; phases : Workload.phase list }
+
+val bulkload : bench
+val randomread : bench
+val readwhilewriting : bench
+val all : bench list
+
+val run : Sim.t -> Access_path.t -> bench -> (elapsed:Time.t -> unit) -> unit

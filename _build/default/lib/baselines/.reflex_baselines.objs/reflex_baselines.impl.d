@@ -1,0 +1,1 @@
+lib/baselines/reflex_baselines.ml: Baseline_server Local

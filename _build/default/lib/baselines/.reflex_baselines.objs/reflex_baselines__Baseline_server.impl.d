@@ -1,0 +1,1 @@
+lib/baselines/baseline_server.ml: Array Codec Device_profile Fabric Io_op Message Nvme_model Prng Reflex_engine Reflex_flash Reflex_net Reflex_proto Resource Sim Stack_model Tcp_conn Time

@@ -1,0 +1,1 @@
+lib/baselines/baseline_server.mli: Fabric Message Reflex_engine Reflex_flash Reflex_net Reflex_proto Sim Tcp_conn

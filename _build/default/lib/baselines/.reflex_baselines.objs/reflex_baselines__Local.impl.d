@@ -1,0 +1,1 @@
+lib/baselines/local.ml: Array Device_profile Nvme_model Prng Reflex_engine Reflex_flash Resource Sim Time

@@ -1,0 +1,1 @@
+lib/baselines/local.mli: Device_profile Io_op Nvme_model Reflex_engine Reflex_flash Sim Time

@@ -1,0 +1,5 @@
+(** The paper's comparison points: direct local SPDK access, and the
+    Linux-based libaio+libevent and iSCSI remote servers. *)
+
+module Local = Local
+module Baseline_server = Baseline_server

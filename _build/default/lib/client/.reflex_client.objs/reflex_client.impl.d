@@ -1,0 +1,1 @@
+lib/client/reflex_client.ml: Blk_dev Client_lib Load_gen

@@ -1,0 +1,1 @@
+lib/client/blk_dev.ml: Array Client_lib Fabric Int64 Io_op Message Reflex_engine Reflex_flash Reflex_net Reflex_proto Sim Stack_model Time

@@ -1,0 +1,1 @@
+lib/client/blk_dev.mli: Io_op Reflex_engine Reflex_flash Reflex_net Reflex_proto Sim Time

@@ -1,0 +1,1 @@
+lib/client/client_lib.ml: Codec Fabric Hashtbl Int64 Message Reflex_engine Reflex_net Reflex_proto Resource Sim Stack_model Tcp_conn Time

@@ -1,0 +1,1 @@
+lib/client/client_lib.mli: Fabric Message Reflex_engine Reflex_net Reflex_proto Sim Stack_model Tcp_conn Time

@@ -1,0 +1,1 @@
+lib/client/load_gen.ml: Client_lib Float Hdr_histogram Int64 Message Prng Reflex_engine Reflex_proto Reflex_stats Sim Time

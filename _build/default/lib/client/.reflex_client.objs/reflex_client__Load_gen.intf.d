@@ -1,0 +1,1 @@
+lib/client/load_gen.mli: Client_lib Hdr_histogram Reflex_engine Reflex_stats Sim Time

@@ -1,0 +1,129 @@
+open Reflex_engine
+open Reflex_net
+open Reflex_proto
+
+type t = {
+  sim : Sim.t;
+  conn : Message.t Tcp_conn.t;
+  core : Resource.t;
+  stack : Stack_model.t;
+  client_host : Fabric.host;
+  mutable next_req : int64;
+  outstanding : (int64, Time.t * (Message.status -> latency:Time.t -> unit)) Hashtbl.t;
+  mutable register_k : (Message.status -> unit) option;
+  mutable unregister_k : (unit -> unit) option;
+  mutable handle : int option;
+}
+
+let dispatch t msg =
+  match msg with
+  | Message.Registered { handle; status } -> (
+    if status = Message.Ok then t.handle <- Some handle;
+    match t.register_k with
+    | Some k ->
+      t.register_k <- None;
+      k status
+    | None -> ())
+  | Message.Unregistered _ -> (
+    t.handle <- None;
+    match t.unregister_k with
+    | Some k ->
+      t.unregister_k <- None;
+      k ()
+    | None -> ())
+  | Message.Barrier_resp { req_id } -> (
+    match Hashtbl.find_opt t.outstanding req_id with
+    | Some (t0, k) ->
+      Hashtbl.remove t.outstanding req_id;
+      k Message.Ok ~latency:(Time.diff (Sim.now t.sim) t0)
+    | None -> ())
+  | Message.Read_resp { req_id; status; _ }
+  | Message.Write_resp { req_id; status }
+  | Message.Error_resp { req_id; status } -> (
+    match Hashtbl.find_opt t.outstanding req_id with
+    | Some (t0, k) ->
+      Hashtbl.remove t.outstanding req_id;
+      k status ~latency:(Time.diff (Sim.now t.sim) t0)
+    | None -> ())
+  | Message.Register _ | Message.Unregister _ | Message.Read_req _ | Message.Write_req _
+  | Message.Barrier_req _ ->
+    (*
+
+       Server-to-client stream never carries requests; ignore. *)
+    ()
+
+let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client") () =
+  let client_host =
+    match host with Some h -> h | None -> Fabric.add_host fabric ~name ~stack
+  in
+  let conn = Tcp_conn.connect fabric ~client:client_host ~server:server_host in
+  let t =
+    {
+      sim;
+      conn;
+      core = Resource.create sim ~servers:1;
+      stack;
+      client_host;
+      next_req = 1L;
+      outstanding = Hashtbl.create 256;
+      register_k = None;
+      unregister_k = None;
+      handle = None;
+    }
+  in
+  accept conn;
+  (* Receive path: the client thread spends per-message CPU before the
+     application sees the completion. *)
+  Tcp_conn.set_client_handler conn (fun msg ~size:_ ->
+      Resource.submit t.core ~service:t.stack.Stack_model.per_msg_cpu
+        (fun ~started:_ ~finished:_ -> dispatch t msg));
+  t
+
+let host t = t.client_host
+
+(* Transmit path: CPU first, then the wire. *)
+let send t msg =
+  Resource.submit t.core ~service:t.stack.Stack_model.per_msg_cpu (fun ~started:_ ~finished:_ ->
+      Tcp_conn.send_to_server t.conn ~size:(Codec.encoded_size msg) msg)
+
+let register t ~tenant ?(slo = Message.best_effort_slo) k =
+  if t.register_k <> None then failwith "Client_lib.register: registration already in flight";
+  t.register_k <- Some k;
+  send t (Message.Register { tenant; slo })
+
+let handle t = t.handle
+
+let io t ~kind ~lba ~len k =
+  match t.handle with
+  | None -> failwith "Client_lib: not registered"
+  | Some handle ->
+    let req_id = t.next_req in
+    t.next_req <- Int64.add req_id 1L;
+    Hashtbl.replace t.outstanding req_id (Sim.now t.sim, k);
+    let msg =
+      match kind with
+      | `Read -> Message.Read_req { handle; req_id; lba; len }
+      | `Write -> Message.Write_req { handle; req_id; lba; len }
+    in
+    send t msg
+
+let read t ~lba ~len k = io t ~kind:`Read ~lba ~len k
+let write t ~lba ~len k = io t ~kind:`Write ~lba ~len k
+
+let barrier t k =
+  match t.handle with
+  | None -> failwith "Client_lib: not registered"
+  | Some handle ->
+    let req_id = t.next_req in
+    t.next_req <- Int64.add req_id 1L;
+    Hashtbl.replace t.outstanding req_id (Sim.now t.sim, k);
+    send t (Message.Barrier_req { handle; req_id })
+
+let unregister t k =
+  match t.handle with
+  | None -> failwith "Client_lib: not registered"
+  | Some handle ->
+    t.unregister_k <- Some k;
+    send t (Message.Unregister { handle })
+
+let inflight t = Hashtbl.length t.outstanding

@@ -1,0 +1,7 @@
+(** Client-side access paths to a ReFlex server: the user-level library,
+    the mutilate-style load generator, and the legacy blk-mq remote block
+    device driver. *)
+
+module Client_lib = Client_lib
+module Load_gen = Load_gen
+module Blk_dev = Blk_dev

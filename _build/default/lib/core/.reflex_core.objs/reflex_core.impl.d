@@ -1,0 +1,1 @@
+lib/core/reflex_core.ml: Acl Control_plane Costs Dataplane Global_control Server

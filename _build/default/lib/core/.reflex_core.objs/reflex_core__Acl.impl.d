@@ -1,0 +1,1 @@
+lib/core/acl.ml: Hashtbl Int64 Reflex_flash

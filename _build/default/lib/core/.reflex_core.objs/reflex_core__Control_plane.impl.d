@@ -1,0 +1,1 @@
+lib/core/control_plane.ml: Cost_model Float Hashtbl Option Reflex_flash Reflex_qos Slo

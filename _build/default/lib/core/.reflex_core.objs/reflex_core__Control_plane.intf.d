@@ -1,0 +1,1 @@
+lib/core/control_plane.mli: Cost_model Reflex_flash Reflex_qos Slo

@@ -1,0 +1,1 @@
+lib/core/dataplane.ml: Cost_model Costs Hashtbl Io_op List Nvme_model Queue Queue_pair Reflex_engine Reflex_flash Reflex_qos Resource Scheduler Sim Tenant Time

@@ -1,0 +1,1 @@
+lib/core/dataplane.mli: Cost_model Costs Global_bucket Io_op Nvme_model Queue_pair Reflex_engine Reflex_flash Reflex_qos Sim Slo Time

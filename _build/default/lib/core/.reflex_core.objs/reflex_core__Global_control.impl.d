@@ -1,0 +1,1 @@
+lib/core/global_control.ml: Control_plane List Option Reflex_qos Server Slo

@@ -1,0 +1,1 @@
+lib/core/global_control.mli: Reflex_qos Server Slo

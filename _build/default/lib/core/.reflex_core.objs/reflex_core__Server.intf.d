@@ -1,0 +1,1 @@
+lib/core/server.mli: Acl Control_plane Costs Fabric Message Reflex_engine Reflex_flash Reflex_net Reflex_proto Reflex_qos Sim Tcp_conn Time

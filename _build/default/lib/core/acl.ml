@@ -1,0 +1,39 @@
+type permission = { lba_lo : int64; lba_hi : int64; can_read : bool; can_write : bool }
+
+type policy = Default_deny | Permissive of permission
+
+type t = { mutable policy : policy; grants : (int, permission) Hashtbl.t }
+
+let create () = { policy = Default_deny; grants = Hashtbl.create 16 }
+
+let create_permissive ?(lba_hi = Int64.max_int) () =
+  {
+    policy = Permissive { lba_lo = 0L; lba_hi; can_read = true; can_write = true };
+    grants = Hashtbl.create 16;
+  }
+
+let grant t ~tenant perm = Hashtbl.replace t.grants tenant perm
+let revoke t ~tenant = Hashtbl.remove t.grants tenant
+
+type verdict = Allowed | Denied_permission | Denied_range
+
+let lookup t ~tenant =
+  match Hashtbl.find_opt t.grants tenant with
+  | Some p -> Some p
+  | None -> ( match t.policy with Permissive p -> Some p | Default_deny -> None)
+
+let check t ~tenant ~kind ~lba ~lba_count =
+  match lookup t ~tenant with
+  | None -> Denied_permission
+  | Some p ->
+    let allowed_op =
+      match (kind : Reflex_flash.Io_op.kind) with Read -> p.can_read | Write -> p.can_write
+    in
+    if not allowed_op then Denied_permission
+    else begin
+      let last = Int64.add lba (Int64.of_int (lba_count - 1)) in
+      if Int64.compare lba p.lba_lo >= 0 && Int64.compare last p.lba_hi < 0 then Allowed
+      else Denied_range
+    end
+
+let connection_allowed t ~tenant = lookup t ~tenant <> None

@@ -1,0 +1,72 @@
+(** The local control plane (paper §4.3).
+
+    Owns the device's throughput-latency characterization and uses it to:
+    admit or reject latency-critical tenants (the strictest latency SLO
+    across LC tenants fixes the device's sustainable token rate); compute
+    per-tenant token rates (LC: weighted SLO rate; BE: fair share of the
+    unallocated rate); pick the dataplane thread for each new tenant; and
+    right-size the number of threads under load. *)
+
+open Reflex_qos
+
+type t
+
+(** [token_rate_fn ~latency_us] maps a p95 read-latency SLO to the max
+    weighted tokens/sec the device sustains — normally obtained from
+    {!Reflex_flash.Calibrate.max_token_rate}.  The default is an analytic
+    curve matching the bundled device profiles (device A: ~429K tokens/s
+    at 500us, ~539K at 2ms; see DESIGN.md). *)
+val create :
+  ?admission_margin:float ->
+  (* default 0.85 *)
+  ?token_rate_fn:(latency_us:float -> float) ->
+  profile:Reflex_flash.Device_profile.t ->
+  cost_model:Cost_model.t ->
+  unit ->
+  t
+
+type admission = Admitted | Rejected_no_capacity
+
+(** [admit t ~id ~slo] runs admission control and records the tenant.
+    BE tenants are always admitted. *)
+val admit : t -> id:int -> slo:Slo.t -> admission
+
+(** Non-mutating admission check — used by the global control plane to
+    test placements without registering. *)
+val can_admit : t -> slo:Slo.t -> bool
+
+(** Spare LC capacity (tokens/s) at the strictest SLO that would result
+    from adding [candidate] — the global placement score input. *)
+val headroom_with : t -> candidate:Slo.t -> float
+
+val forget : t -> id:int -> unit
+val is_registered : t -> id:int -> bool
+
+(** Strictest (lowest) latency SLO across registered LC tenants. *)
+val strictest_latency_us : t -> float option
+
+(** Token generation rate for the device at the strictest current SLO. *)
+val total_token_rate : t -> float
+
+(** Sum of LC tenants' weighted reservations. *)
+val lc_reserved_rate : t -> float
+
+(** Fair per-tenant share of the unallocated rate for BE tenants. *)
+val be_share : t -> float
+
+(** Token rate for one registered tenant under current conditions. *)
+val token_rate_for : t -> id:int -> float option
+
+(** All registered tenant ids with their current token rates — pushed to
+    dataplane threads after every registration change. *)
+val current_rates : t -> (int * float) list
+
+val registered_count : t -> int
+
+(** True when every registered tenant declares a 100%%-read mix, in which
+    case reservations are priced at C(read, 100%%). *)
+val fleet_read_only : t -> bool
+
+(** The default analytic device model used when no measured calibration is
+    supplied. *)
+val default_token_rate_fn : Reflex_flash.Device_profile.t -> latency_us:float -> float

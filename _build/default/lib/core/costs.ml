@@ -1,0 +1,32 @@
+open Reflex_engine
+
+type t = {
+  rx_per_msg : Time.t;
+  parse_per_msg : Time.t;
+  submit_per_req : Time.t;
+  complete_per_req : Time.t;
+  sched_base : Time.t;
+  sched_per_tenant : Time.t;
+  batch_max : int;
+  idle_sched_period : Time.t;
+  conn_penalty_threshold : int;
+  conn_penalty_slope : float;
+}
+
+let default =
+  {
+    rx_per_msg = Time.ns 450;
+    parse_per_msg = Time.ns 200;
+    submit_per_req = Time.ns 100;
+    complete_per_req = Time.ns 400;
+    sched_base = Time.ns 300;
+    sched_per_tenant = Time.ns 40;
+    batch_max = 64;
+    idle_sched_period = Time.us 10;
+    conn_penalty_threshold = 4096;
+    conn_penalty_slope = 1.5e-4;
+  }
+
+let conn_factor t ~conns =
+  if conns <= t.conn_penalty_threshold then 1.0
+  else 1.0 +. (float_of_int (conns - t.conn_penalty_threshold) *. t.conn_penalty_slope)

@@ -1,0 +1,34 @@
+(** CPU cost parameters of a ReFlex dataplane thread.
+
+    These constants reproduce the paper's per-core throughput: roughly
+    1.15us of CPU per request end-to-end gives ~850K IOPS per core (§5.3),
+    with ~20% of a loaded thread in TCP/IP processing and 2-8%% in QoS
+    scheduling depending on tenant count. *)
+
+open Reflex_engine
+
+type t = {
+  rx_per_msg : Time.t;  (** Ethernet + TCP/IP receive processing *)
+  parse_per_msg : Time.t;  (** user-level parse, ACL check, syscall *)
+  submit_per_req : Time.t;  (** NVMe submission-queue doorbell *)
+  complete_per_req : Time.t;  (** completion event, send syscall, TCP/IP tx *)
+  sched_base : Time.t;  (** fixed cost of one QoS scheduling round *)
+  sched_per_tenant : Time.t;  (** added round cost per registered tenant *)
+  batch_max : int;  (** adaptive batching cap (paper: 64) *)
+  idle_sched_period : Time.t;
+      (** when rate-limited backlog waits with no other work, the thread
+          re-enters the scheduler at this interval (paper: rounds every
+          0.5-100us; the control plane keeps it under 5%% of the strictest
+          SLO) *)
+  conn_penalty_threshold : int;
+      (** connections a core can hold in LLC before TCP state misses slow
+          processing (paper §5.5: degradation past ~5K connections) *)
+  conn_penalty_slope : float;
+      (** relative extra CPU per message per connection beyond the
+          threshold *)
+}
+
+val default : t
+
+(** Cost multiplier from connection-state cache pressure. *)
+val conn_factor : t -> conns:int -> float

@@ -1,0 +1,240 @@
+open Reflex_engine
+open Reflex_flash
+open Reflex_qos
+
+type 'a done_req = { payload : 'a; kind : Io_op.kind; nvme_latency : Time.t }
+
+type 'a pending = { p_payload : 'a; p_kind : Io_op.kind; p_bytes : int; p_tenant : int }
+
+type 'a t = {
+  sim : Sim.t;
+  thread_id : int;
+  core : Resource.t;
+  qp : Queue_pair.t;
+  device : Nvme_model.t;
+  cost_model : Cost_model.t;
+  scheduler : 'a pending Scheduler.t;
+  costs : Costs.t;
+  respond : 'a done_req -> unit;
+  reroute : tenant_id:int -> kind:Io_op.kind -> bytes:int -> 'a -> unit;
+  rx_ring : 'a pending Queue.t;
+  outstanding : (int, 'a pending) Hashtbl.t;
+  deferred : 'a pending Scheduler.submission Queue.t; (* SQ-full retries *)
+  mutable next_cookie : int;
+  mutable conns : int;
+  mutable running : bool; (* a cycle is executing or queued on the core *)
+  mutable idle_timer : Sim.event_id option;
+  created_at : Time.t;
+  mutable completed : int;
+  mutable tokens_spent : float;
+  mutable rounds : int;
+}
+
+let thread_id t = t.thread_id
+
+let add_tenant t ~id ~slo ~token_rate =
+  Scheduler.add_tenant t.scheduler (Tenant.create ~id ~slo ~token_rate)
+
+let remove_tenant t ~id = Scheduler.remove_tenant t.scheduler id
+
+let set_token_rate t ~id rate =
+  match Scheduler.find_tenant t.scheduler id with
+  | Some tenant -> Tenant.set_token_rate tenant rate
+  | None -> raise Not_found
+
+let has_tenant t ~id = Scheduler.find_tenant t.scheduler id <> None
+let tenant_count t = Scheduler.tenant_count t.scheduler
+
+let charge t base = Time.scale base (Costs.conn_factor t.costs ~conns:t.conns)
+
+(* The thread wakes and runs one two-step cycle whenever there is work:
+   receive-ring entries, completions, or schedulable tenant backlog. *)
+let rec kick t =
+  if not t.running then begin
+    (match t.idle_timer with
+    | Some ev ->
+      Sim.cancel t.sim ev;
+      t.idle_timer <- None
+    | None -> ());
+    t.running <- true;
+    run_cycle t
+  end
+
+(* Step one (Figure 2, steps 1-4): drain a batch from the receive ring,
+   parse each message into its tenant's software queue, run a QoS
+   scheduling round, and submit admitted requests to the NVMe SQ.  The
+   CPU for receive + parse + scheduling is charged before submissions
+   take effect. *)
+and run_cycle t =
+  let costs = t.costs in
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < costs.batch_max && not (Queue.is_empty t.rx_ring) do
+    batch := Queue.pop t.rx_ring :: !batch;
+    incr n
+  done;
+  let rx_items = List.rev !batch in
+  let per_msg = Time.add costs.rx_per_msg costs.parse_per_msg in
+  let sched_cpu =
+    Time.add costs.sched_base
+      (Time.scale costs.sched_per_tenant (float_of_int (Scheduler.tenant_count t.scheduler)))
+  in
+  let step1_cpu = Time.add (Time.scale per_msg (float_of_int !n)) sched_cpu in
+  Resource.submit t.core ~service:(charge t step1_cpu) (fun ~started:_ ~finished:_ ->
+      (* Requests enter their tenant's queue with the token cost fixed by
+         the device's current read/write mix.  A tenant rebalanced away
+         between arrival and parsing gets its requests rerouted, never
+         dropped (paper §3.1). *)
+      List.iter
+        (fun p ->
+          match Scheduler.find_tenant t.scheduler p.p_tenant with
+          | Some _ ->
+            let cost =
+              Cost_model.request_cost t.cost_model ~kind:p.p_kind ~bytes:p.p_bytes
+                ~read_only:(Nvme_model.read_only_mode t.device)
+            in
+            Scheduler.enqueue t.scheduler ~tenant_id:p.p_tenant ~cost p
+          | None -> t.reroute ~tenant_id:p.p_tenant ~kind:p.p_kind ~bytes:p.p_bytes p.p_payload)
+        rx_items;
+      let submissions = ref 0 in
+      let try_submit (s : 'a pending Scheduler.submission) =
+        let pend = s.Scheduler.payload in
+        let cookie = t.next_cookie in
+        t.next_cookie <- t.next_cookie + 1;
+        match Queue_pair.submit t.qp ~kind:pend.p_kind ~bytes:pend.p_bytes ~cookie with
+        | `Ok ->
+          Hashtbl.replace t.outstanding cookie pend;
+          t.tokens_spent <- t.tokens_spent +. s.Scheduler.cost;
+          incr submissions;
+          true
+        | `Full -> false
+      in
+      let submit_to_qp s = if not (try_submit s) then Queue.add s t.deferred in
+      (* Submissions deferred on a full SQ go first — their tokens are
+         already spent.  Stop at the first refusal: the SQ is full again. *)
+      let rec retry_deferred () =
+        match Queue.peek_opt t.deferred with
+        | Some s when try_submit s ->
+          ignore (Queue.pop t.deferred);
+          retry_deferred ()
+        | Some _ | None -> ()
+      in
+      retry_deferred ();
+      t.rounds <- t.rounds + 1;
+      ignore (Scheduler.schedule t.scheduler ~now:(Sim.now t.sim) ~submit:submit_to_qp);
+      let submit_cpu = Time.scale costs.submit_per_req (float_of_int !submissions) in
+      Resource.submit t.core ~service:(charge t submit_cpu) (fun ~started:_ ~finished:_ ->
+          run_step2 t))
+
+(* Step two (Figure 2, steps 5-8): poll the completion queue, deliver
+   completion events, transmit responses. *)
+and run_step2 t =
+  let costs = t.costs in
+  let completions = Queue_pair.poll t.qp ~max:costs.batch_max in
+  let step2_cpu = Time.scale costs.complete_per_req (float_of_int (List.length completions)) in
+  Resource.submit t.core ~service:(charge t step2_cpu) (fun ~started:_ ~finished:_ ->
+      List.iter
+        (fun (c : Queue_pair.completion) ->
+          match Hashtbl.find_opt t.outstanding c.Queue_pair.cookie with
+          | Some pend ->
+            Hashtbl.remove t.outstanding c.Queue_pair.cookie;
+            t.completed <- t.completed + 1;
+            t.respond
+              {
+                payload = pend.p_payload;
+                kind = c.Queue_pair.kind;
+                nvme_latency = c.Queue_pair.latency;
+              }
+          | None -> ())
+        completions;
+      finish_cycle t)
+
+and finish_cycle t =
+  t.running <- false;
+  let have_rx = not (Queue.is_empty t.rx_ring) in
+  let have_cq = Queue_pair.completions_pending t.qp > 0 in
+  let have_deferred = not (Queue.is_empty t.deferred) in
+  if have_rx || have_cq || have_deferred then kick t
+  else if Scheduler.backlog t.scheduler > 0.0 then
+    (* Only rate-limited backlog remains: re-enter the scheduler once
+       tokens have accrued. *)
+    match t.idle_timer with
+    | Some _ -> ()
+    | None ->
+      t.idle_timer <-
+        Some
+          (Sim.after t.sim t.costs.idle_sched_period (fun () ->
+               t.idle_timer <- None;
+               kick t))
+
+let create sim ~thread_id ~qp ~device ~cost_model ~global ?(costs = Costs.default)
+    ?neg_limit ?donate_fraction ?notify_control_plane
+    ?(reroute = fun ~tenant_id ~kind:_ ~bytes:_ _ -> ignore tenant_id; raise Not_found)
+    ~respond () =
+  let scheduler =
+    Scheduler.create ?neg_limit ?donate_fraction ~global ~thread_id ?notify_control_plane ()
+  in
+  let t =
+    {
+      sim;
+      thread_id;
+      core = Resource.create sim ~servers:1;
+      qp;
+      device;
+      cost_model;
+      scheduler;
+      costs;
+      respond;
+      reroute;
+      rx_ring = Queue.create ();
+      outstanding = Hashtbl.create 1024;
+      deferred = Queue.create ();
+      next_cookie = 0;
+      conns = 0;
+      running = false;
+      idle_timer = None;
+      created_at = Sim.now sim;
+      completed = 0;
+      tokens_spent = 0.0;
+      rounds = 0;
+    }
+  in
+  (* A completion landing while the thread is idle is noticed by its next
+     poll iteration. *)
+  Queue_pair.set_completion_hook qp (fun () -> kick t);
+  t
+
+let detach_tenant t ~id =
+  match Scheduler.find_tenant t.scheduler id with
+  | None -> None
+  | Some tenant ->
+    let rec drain acc =
+      match Tenant.dequeue tenant with
+      | Some (_cost, pend) -> drain ((pend.p_kind, pend.p_bytes, pend.p_payload) :: acc)
+      | None -> List.rev acc
+    in
+    let backlog = drain [] in
+    let slo = Tenant.slo tenant and rate = Tenant.token_rate tenant in
+    Scheduler.remove_tenant t.scheduler id;
+    Some (slo, rate, backlog)
+
+let receive t ~tenant_id ~kind ~bytes payload =
+  if not (has_tenant t ~id:tenant_id) then raise Not_found;
+  Queue.add { p_payload = payload; p_kind = kind; p_bytes = bytes; p_tenant = tenant_id }
+    t.rx_ring;
+  kick t
+
+let attach_tenant t ~id ~slo ~token_rate ~backlog =
+  add_tenant t ~id ~slo ~token_rate;
+  List.iter (fun (kind, bytes, payload) -> receive t ~tenant_id:id ~kind ~bytes payload) backlog
+
+let set_conn_count t n = t.conns <- n
+let utilization t = Resource.utilization t.core
+let requests_completed t = t.completed
+let tokens_spent t = t.tokens_spent
+
+let token_usage_rate t =
+  let elapsed = Time.to_float_sec (Time.diff (Sim.now t.sim) t.created_at) in
+  if elapsed <= 0.0 then 0.0 else t.tokens_spent /. elapsed
+
+let scheduling_rounds t = t.rounds

@@ -1,0 +1,90 @@
+(** One ReFlex dataplane thread (paper §3.1, Figure 2).
+
+    The thread owns a dedicated core, a NIC queue pair (modelled as its
+    receive ring) and an NVMe queue pair.  Execution is the paper's
+    two-step run-to-completion with adaptive batching:
+
+    - step one: poll the receive ring, parse/ACL/syscall each message
+      (up to the batch cap of 64), run a QoS scheduling round, and submit
+      every admitted request to the NVMe submission queue;
+    - step two: poll the NVMe completion queue (again up to 64) and
+      transmit each response.
+
+    Both steps charge simulated CPU time to the thread's core; the core is
+    the throughput limiter, reproducing ~850K IOPS/core.  When the only
+    pending work is rate-limited tenant backlog, the thread re-enters the
+    scheduler every [idle_sched_period].
+
+    The payload type ['a] is whatever the server needs to route a
+    response; the dataplane never inspects it. *)
+
+open Reflex_engine
+open Reflex_flash
+open Reflex_qos
+
+type 'a t
+
+(** A completed request handed back for response transmission. *)
+type 'a done_req = { payload : 'a; kind : Io_op.kind; nvme_latency : Time.t }
+
+val create :
+  Sim.t ->
+  thread_id:int ->
+  qp:Queue_pair.t ->
+  device:Nvme_model.t ->
+  cost_model:Cost_model.t ->
+  global:Global_bucket.t ->
+  ?costs:Costs.t ->
+  ?neg_limit:float ->
+  (* scheduler deficit limit, default -50 tokens (paper §3.2.2) *)
+  ?donate_fraction:float ->
+  (* share of above-POS_LIMIT balances donated, default 0.9 *)
+  ?notify_control_plane:(int -> unit) ->
+  ?reroute:(tenant_id:int -> kind:Io_op.kind -> bytes:int -> 'a -> unit) ->
+  (* where to send receive-ring entries whose tenant has been rebalanced
+     away before they were parsed (paper §3.1: rebalancing must not drop
+     requests); default re-raises [Not_found] *)
+  respond:('a done_req -> unit) ->
+  unit ->
+  'a t
+
+val thread_id : 'a t -> int
+
+(** {1 Tenant management (driven by the server/control plane)} *)
+
+val add_tenant : 'a t -> id:int -> slo:Slo.t -> token_rate:float -> unit
+val remove_tenant : 'a t -> id:int -> unit
+val set_token_rate : 'a t -> id:int -> float -> unit
+val has_tenant : 'a t -> id:int -> bool
+val tenant_count : 'a t -> int
+
+(** Detach a tenant for rebalancing, returning its SLO, token rate, and
+    queued requests as (kind, bytes, payload) triples. *)
+val detach_tenant : 'a t -> id:int -> (Slo.t * float * (Io_op.kind * int * 'a) list) option
+
+(** Re-attach a tenant moved from another thread; its backlog re-enters
+    this thread's receive ring. *)
+val attach_tenant :
+  'a t -> id:int -> slo:Slo.t -> token_rate:float -> backlog:(Io_op.kind * int * 'a) list -> unit
+
+(** {1 Request path} *)
+
+(** [receive t ~tenant_id ~kind ~bytes payload] — a parsed-off-the-wire
+    request enters the thread's receive ring.  Raises [Not_found] for an
+    unknown tenant. *)
+val receive : 'a t -> tenant_id:int -> kind:Io_op.kind -> bytes:int -> 'a -> unit
+
+(** Connections currently served by this thread (for the LLC pressure
+    model). *)
+val set_conn_count : 'a t -> int -> unit
+
+(** {1 Observability} *)
+
+val utilization : 'a t -> float
+val requests_completed : 'a t -> int
+val tokens_spent : 'a t -> float
+
+(** Tokens spent per second of simulated time since creation. *)
+val token_usage_rate : 'a t -> float
+
+val scheduling_rounds : 'a t -> int

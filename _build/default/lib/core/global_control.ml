@@ -1,0 +1,55 @@
+open Reflex_qos
+
+type t = { mutable pool : (string * Server.t) list }
+
+let create () = { pool = [] }
+
+let add_server t ~name server =
+  if List.mem_assoc name t.pool then invalid_arg "Global_control.add_server: duplicate name";
+  t.pool <- t.pool @ [ (name, server) ]
+
+let servers t = t.pool
+
+type placement = { server_name : string; server : Server.t }
+
+(* Smaller is better: SLO mismatch dominates, headroom breaks ties. *)
+let score cp ~slo =
+  let headroom = Control_plane.headroom_with cp ~candidate:slo in
+  let mismatch =
+    if not (Slo.is_latency_critical slo) then 0.0
+    else
+      match Control_plane.strictest_latency_us cp with
+      | None -> 0.0 (* empty server: no one to disturb *)
+      | Some strictest ->
+        abs_float (log (float_of_int slo.Slo.latency_us /. strictest))
+  in
+  (mismatch, -.headroom)
+
+let place t ~slo =
+  let candidates =
+    List.filter (fun (_, srv) -> Control_plane.can_admit (Server.control_plane srv) ~slo) t.pool
+  in
+  let best =
+    List.fold_left
+      (fun acc (name, srv) ->
+        let s = score (Server.control_plane srv) ~slo in
+        match acc with
+        | Some (_, _, best_s) when compare best_s s <= 0 -> acc
+        | _ -> Some (name, srv, s))
+      None candidates
+  in
+  Option.map (fun (server_name, server, _) -> { server_name; server }) best
+
+let place_and_admit t ~id ~slo =
+  match place t ~slo with
+  | None -> None
+  | Some p -> (
+    match Control_plane.admit (Server.control_plane p.server) ~id ~slo with
+    | Control_plane.Admitted ->
+      (* Local bookkeeping (thread binding, rates) happens when the
+         tenant's first connection registers; pre-admission here reserves
+         the capacity.  Forget it again so the wire registration is the
+         single source of truth. *)
+      Control_plane.forget (Server.control_plane p.server) ~id;
+      Some p
+    | Control_plane.Rejected_no_capacity -> None)

@@ -1,0 +1,37 @@
+(** The global (cluster-level) control plane sketched in the paper's
+    §4.3 as future work: it manages Flash across many ReFlex servers and
+    decides where each tenant should live.
+
+    Placement policy, following the paper's guidance:
+
+    + only servers whose local control plane would admit the SLO are
+      candidates;
+    + among candidates, {e co-locate tenants with similar tail-latency
+      requirements}: a strict tenant landing on a server of loose tenants
+      drags everyone down to its token ceiling, so the score penalizes
+      SLO mismatch (log-distance between the tenant's latency bound and
+      the server's current strictest);
+    + ties break toward the server with the most token headroom, which
+      balances load.
+
+    Best-effort tenants have no latency bound and simply go to the server
+    with the most headroom. *)
+
+open Reflex_qos
+
+type t
+
+val create : unit -> t
+
+val add_server : t -> name:string -> Server.t -> unit
+val servers : t -> (string * Server.t) list
+
+type placement = { server_name : string; server : Server.t }
+
+(** [place t ~slo] picks the server for a new tenant, or [None] when no
+    server can admit it. *)
+val place : t -> slo:Slo.t -> placement option
+
+(** Convenience: place and register in one step (the caller connects its
+    clients to the returned server).  [None] if no server admits. *)
+val place_and_admit : t -> id:int -> slo:Slo.t -> placement option

@@ -1,0 +1,14 @@
+(** The ReFlex server — the paper's primary contribution.
+
+    - {!Costs}: dataplane CPU cost constants (~850K IOPS/core)
+    - {!Dataplane}: per-core two-step run-to-completion threads (Figure 2)
+    - {!Acl}: tenant/namespace access control (§4.1)
+    - {!Control_plane}: admission control, token rates, thread scaling (§4.3)
+    - {!Server}: the protocol-speaking facade tying it all together *)
+
+module Costs = Costs
+module Dataplane = Dataplane
+module Acl = Acl
+module Control_plane = Control_plane
+module Server = Server
+module Global_control = Global_control

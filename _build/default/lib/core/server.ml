@@ -1,0 +1,425 @@
+open Reflex_engine
+open Reflex_flash
+open Reflex_net
+open Reflex_proto
+open Reflex_qos
+
+type inflight = { conn : Message.t Tcp_conn.t; req_id : int64; bytes : int; tenant : int }
+
+(* Barrier state (§4.1 extension).  Per tenant: the number of I/Os inside
+   the server, the armed barrier (if any), and the FIFO of work buffered
+   behind it.  A barrier completes once everything before it has; work
+   after it waits. *)
+type gate = {
+  mutable outstanding : int;
+  mutable armed : (Message.t Tcp_conn.t * int64) option;
+  buffered : (unit -> unit) Queue.t;
+}
+
+type t = {
+  sim : Sim.t;
+  host : Fabric.host;
+  device : Nvme_model.t;
+  cost_model : Cost_model.t;
+  control_plane : Control_plane.t;
+  acl : Acl.t;
+  qos : bool;
+  threads : inflight Dataplane.t array;
+  global : Global_bucket.t;
+  mutable active : int;
+  tenant_thread : (int, int) Hashtbl.t; (* tenant id -> thread index *)
+  be_tenants : (int, unit) Hashtbl.t;
+  tenant_conns : (int, int) Hashtbl.t; (* tenant id -> connection count *)
+  tenant_done : (int, int ref) Hashtbl.t;
+  gates : (int, gate) Hashtbl.t;
+  deficit_notes : (int, int ref) Hashtbl.t; (* NEG_LIMIT hits per tenant *)
+  mutable fleet_ro : bool;
+  mutable completed : int;
+}
+
+let gate_of t tenant =
+  match Hashtbl.find_opt t.gates tenant with
+  | Some g -> g
+  | None ->
+    let g = { outstanding = 0; armed = None; buffered = Queue.create () } in
+    Hashtbl.replace t.gates tenant g;
+    g
+
+(* An armed barrier fires once the tenant's in-server I/O count drains to
+   zero; buffered work then replays in order until the next barrier
+   re-arms or the buffer empties. *)
+let release_gate g =
+  let rec drain () =
+    if g.armed = None then
+      match Queue.take_opt g.buffered with
+      | Some thunk ->
+        thunk ();
+        drain ()
+      | None -> ()
+  in
+  match g.armed with
+  | Some (conn, req_id) when g.outstanding = 0 ->
+    g.armed <- None;
+    let msg = Message.Barrier_resp { req_id } in
+    Tcp_conn.send_to_client conn ~size:(Codec.encoded_size msg) msg;
+    drain ()
+  | Some _ | None -> ()
+
+let respond t done_req =
+  let { conn; req_id; bytes; tenant } = done_req.Dataplane.payload in
+  t.completed <- t.completed + 1;
+  (match Hashtbl.find_opt t.tenant_done tenant with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.tenant_done tenant (ref 1));
+  let msg =
+    match done_req.Dataplane.kind with
+    | Io_op.Read -> Message.Read_resp { req_id; status = Message.Ok; len = bytes }
+    | Io_op.Write -> Message.Write_resp { req_id; status = Message.Ok }
+  in
+  Tcp_conn.send_to_client conn ~size:(Codec.encoded_size msg) msg;
+  let g = gate_of t tenant in
+  g.outstanding <- g.outstanding - 1;
+  release_gate g
+
+(* The scheduler notifies the control plane when a tenant hits its token
+   deficit limit — consistent bursting above the reserved rate means the
+   SLO is wrong and needs renegotiation (paper §3.2.2/§4.3). *)
+let note_deficit t ~tenant =
+  match Hashtbl.find_opt t.deficit_notes tenant with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.deficit_notes tenant (ref 1)
+
+(* A request parsed on a thread its tenant just left follows the tenant
+   to its new thread; if the tenant is gone entirely, the client gets an
+   error instead of silence. *)
+let reroute t ~tenant_id ~kind ~bytes payload =
+  match Hashtbl.find_opt t.tenant_thread tenant_id with
+  | Some thread -> Dataplane.receive t.threads.(thread) ~tenant_id ~kind ~bytes payload
+  | None ->
+    let msg = Message.Error_resp { req_id = payload.req_id; status = Message.Bad_request } in
+    Tcp_conn.send_to_client payload.conn ~size:(Codec.encoded_size msg) msg
+
+let create sim ~fabric ?(profile = Device_profile.device_a) ?(n_threads = 1) ?max_threads
+    ?(costs = Costs.default) ?acl ?token_rate_fn ?(qos = true) ?neg_limit ?donate_fraction
+    ?cost_model ?seed () =
+  let max_threads = Option.value max_threads ~default:n_threads in
+  if n_threads < 1 || n_threads > max_threads then invalid_arg "Server.create: thread counts";
+  let seed = Option.value seed ~default:0x5EF1E45EEDL in
+  let device = Nvme_model.create sim ~profile ~prng:(Prng.create seed) in
+  let cost_model = Option.value cost_model ~default:(Cost_model.of_profile profile) in
+  let control_plane = Control_plane.create ?token_rate_fn ~profile ~cost_model () in
+  let acl = match acl with Some a -> a | None -> Acl.create_permissive () in
+  let global = Global_bucket.create ~n_threads:max_threads in
+  let host = Fabric.add_host fabric ~name:"reflex-server" ~stack:Stack_model.dataplane_server in
+  let rec t =
+    lazy
+      {
+        sim;
+        host;
+        device;
+        cost_model;
+        control_plane;
+        acl;
+        qos;
+        threads =
+          Array.init max_threads (fun thread_id ->
+              Dataplane.create sim ~thread_id ~qp:(Queue_pair.create device) ~device ~cost_model
+                ~global ~costs ?neg_limit ?donate_fraction
+                ~notify_control_plane:(fun tenant -> note_deficit (Lazy.force t) ~tenant)
+                ~reroute:(fun ~tenant_id ~kind ~bytes payload ->
+                  reroute (Lazy.force t) ~tenant_id ~kind ~bytes payload)
+                ~respond:(fun d -> respond (Lazy.force t) d)
+                ());
+        global;
+        active = n_threads;
+        tenant_thread = Hashtbl.create 64;
+        be_tenants = Hashtbl.create 64;
+        tenant_conns = Hashtbl.create 64;
+        tenant_done = Hashtbl.create 64;
+        gates = Hashtbl.create 16;
+        deficit_notes = Hashtbl.create 16;
+        fleet_ro = true;
+        completed = 0;
+      }
+  in
+  let t = Lazy.force t in
+  Global_bucket.set_active_threads global (List.init n_threads Fun.id);
+  t
+
+let host t = t.host
+let device t = t.device
+let control_plane t = t.control_plane
+let active_threads t = t.active
+
+(* Pick the active thread with the fewest tenants for a new tenant. *)
+let least_loaded_thread t =
+  let best = ref 0 and best_count = ref max_int in
+  for i = 0 to t.active - 1 do
+    let c = Dataplane.tenant_count t.threads.(i) in
+    if c < !best_count then begin
+      best := i;
+      best_count := c
+    end
+  done;
+  !best
+
+(* Push control-plane token rates to dataplane threads.  LC rates depend
+   only on the tenant's own SLO; the BE fair share (and hence every BE
+   tenant's rate) moves whenever registrations change, so those are
+   re-pushed on each change.  With QoS disabled (Figure 5's "I/O sched
+   disabled" configuration) every tenant gets an unbounded rate: requests
+   flow straight to the device. *)
+let effective_rate t rate = if t.qos then rate else 1e15
+
+let push_be_rates t =
+  let share = effective_rate t (Control_plane.be_share t.control_plane) in
+  Hashtbl.iter
+    (fun id () ->
+      match Hashtbl.find_opt t.tenant_thread id with
+      | Some thread -> Dataplane.set_token_rate t.threads.(thread) ~id share
+      | None -> ())
+    t.be_tenants
+
+(* After a registration change: the affected tenant's own rate, plus every
+   BE tenant's share. *)
+let push_rates t =
+  push_be_rates t;
+  Hashtbl.iter
+    (fun id thread ->
+      if not (Hashtbl.mem t.be_tenants id) then
+        match Control_plane.token_rate_for t.control_plane ~id with
+        | Some rate -> Dataplane.set_token_rate t.threads.(thread) ~id (effective_rate t rate)
+        | None -> ())
+    t.tenant_thread
+
+(* LC rates depend only on their own SLO — except that they are all
+   repriced when the fleet's read-only status flips; BE shares move on
+   every change. *)
+let refresh_rates t =
+  let ro = Control_plane.fleet_read_only t.control_plane in
+  if ro <> t.fleet_ro then begin
+    t.fleet_ro <- ro;
+    push_rates t
+  end
+  else push_be_rates t
+
+let refresh_conn_counts t =
+  let counts = Array.make (Array.length t.threads) 0 in
+  Hashtbl.iter
+    (fun tenant conns ->
+      match Hashtbl.find_opt t.tenant_thread tenant with
+      | Some thread -> counts.(thread) <- counts.(thread) + conns
+      | None -> ())
+    t.tenant_conns;
+  Array.iteri (fun i dp -> Dataplane.set_conn_count dp counts.(i)) t.threads
+
+let slo_of_message (m : Message.slo) =
+  if m.Message.latency_critical then
+    Slo.latency_critical ~latency_us:m.Message.latency_us
+      ~iops:(float_of_int m.Message.iops) ~read_pct:m.Message.read_pct
+  else Slo.best_effort ~read_pct:m.Message.read_pct ()
+
+let handle_register t ~tenant ~(slo : Message.slo) ~registered_handle =
+  if not (Acl.connection_allowed t.acl ~tenant) then
+    Some (Message.Registered { handle = tenant; status = Message.Denied })
+  else if Control_plane.is_registered t.control_plane ~id:tenant then begin
+    (* Another connection joins an existing tenant. *)
+    registered_handle := Some tenant;
+    Hashtbl.replace t.tenant_conns tenant
+      (1 + Option.value (Hashtbl.find_opt t.tenant_conns tenant) ~default:0);
+    refresh_conn_counts t;
+    Some (Message.Registered { handle = tenant; status = Message.Ok })
+  end
+  else begin
+    let slo = slo_of_message slo in
+    match Control_plane.admit t.control_plane ~id:tenant ~slo with
+    | Control_plane.Rejected_no_capacity ->
+      Some (Message.Registered { handle = tenant; status = Message.No_capacity })
+    | Control_plane.Admitted ->
+      let thread = least_loaded_thread t in
+      let rate =
+        effective_rate t
+          (Option.value (Control_plane.token_rate_for t.control_plane ~id:tenant) ~default:0.0)
+      in
+      Dataplane.add_tenant t.threads.(thread) ~id:tenant ~slo ~token_rate:rate;
+      Hashtbl.replace t.tenant_thread tenant thread;
+      if not (Slo.is_latency_critical slo) then Hashtbl.replace t.be_tenants tenant ();
+      Hashtbl.replace t.tenant_conns tenant
+        (1 + Option.value (Hashtbl.find_opt t.tenant_conns tenant) ~default:0);
+      (* A new LC reservation (or a new BE peer) moves every BE share; LC
+         rates change only if the fleet's read-only pricing flipped. *)
+      refresh_rates t;
+      refresh_conn_counts t;
+      registered_handle := Some tenant;
+      Some (Message.Registered { handle = tenant; status = Message.Ok })
+  end
+
+let handle_unregister t ~handle =
+  (match Hashtbl.find_opt t.tenant_thread handle with
+  | Some thread -> Dataplane.remove_tenant t.threads.(thread) ~id:handle
+  | None -> ());
+  Hashtbl.remove t.tenant_thread handle;
+  Hashtbl.remove t.tenant_conns handle;
+  Hashtbl.remove t.be_tenants handle;
+  Hashtbl.remove t.gates handle;
+  Control_plane.forget t.control_plane ~id:handle;
+  refresh_rates t;
+  refresh_conn_counts t;
+  Some (Message.Unregistered { handle })
+
+let send_reply conn msg = Tcp_conn.send_to_client conn ~size:(Codec.encoded_size msg) msg
+
+let rec handle_io t conn ~handle ~kind ~req_id ~lba ~len ~registered_handle =
+  match !registered_handle with
+  | Some h when h = handle -> (
+    let g = gate_of t handle in
+    if g.armed <> None then begin
+      (* Behind a barrier: replay in arrival order once it fires. *)
+      Queue.add
+        (fun () ->
+          match handle_io t conn ~handle ~kind ~req_id ~lba ~len ~registered_handle with
+          | Some reply -> send_reply conn reply
+          | None -> ())
+        g.buffered;
+      None
+    end
+    else
+      let lba_count = Io_op.sectors_of_bytes len in
+      match Acl.check t.acl ~tenant:handle ~kind ~lba ~lba_count with
+      | Acl.Denied_permission -> Some (Message.Error_resp { req_id; status = Message.Denied })
+      | Acl.Denied_range -> Some (Message.Error_resp { req_id; status = Message.Out_of_range })
+      | Acl.Allowed -> (
+        match Hashtbl.find_opt t.tenant_thread handle with
+        | None -> Some (Message.Error_resp { req_id; status = Message.Bad_request })
+        | Some thread ->
+          g.outstanding <- g.outstanding + 1;
+          Dataplane.receive t.threads.(thread) ~tenant_id:handle ~kind ~bytes:len
+            { conn; req_id; bytes = len; tenant = handle };
+          None))
+  | _ -> Some (Message.Error_resp { req_id; status = Message.Denied })
+
+let rec handle_barrier t conn ~handle ~req_id ~registered_handle =
+  match !registered_handle with
+  | Some h when h = handle ->
+    let g = gate_of t handle in
+    if g.armed <> None then begin
+      Queue.add
+        (fun () ->
+          match handle_barrier t conn ~handle ~req_id ~registered_handle with
+          | Some reply -> send_reply conn reply
+          | None -> ())
+        g.buffered;
+      None
+    end
+    else if g.outstanding = 0 then Some (Message.Barrier_resp { req_id })
+    else begin
+      g.armed <- Some (conn, req_id);
+      None
+    end
+  | _ -> Some (Message.Error_resp { req_id; status = Message.Denied })
+
+let accept t conn =
+  (* Per-connection state lives in this closure: which tenant the
+     connection has registered for. *)
+  let registered_handle = ref None in
+  Tcp_conn.set_server_handler conn (fun msg ~size:_ ->
+      let reply =
+        match msg with
+        | Message.Register { tenant; slo } ->
+          handle_register t ~tenant ~slo ~registered_handle
+        | Message.Unregister { handle } -> handle_unregister t ~handle
+        | Message.Read_req { handle; req_id; lba; len } ->
+          handle_io t conn ~handle ~kind:Io_op.Read ~req_id ~lba ~len ~registered_handle
+        | Message.Write_req { handle; req_id; lba; len } ->
+          handle_io t conn ~handle ~kind:Io_op.Write ~req_id ~lba ~len ~registered_handle
+        | Message.Barrier_req { handle; req_id } ->
+          handle_barrier t conn ~handle ~req_id ~registered_handle
+        | Message.Registered _ | Message.Unregistered _ | Message.Read_resp _
+        | Message.Write_resp _ | Message.Barrier_resp _ | Message.Error_resp _ ->
+          Some (Message.Error_resp { req_id = 0L; status = Message.Bad_request })
+      in
+      match reply with
+      | Some m -> Tcp_conn.send_to_client conn ~size:(Codec.encoded_size m) m
+      | None -> ())
+
+(* ---------------- thread scaling (paper SS4.3) ---------------- *)
+
+let rebalance t =
+  (* Even out tenant counts across active threads by moving tenants off
+     overloaded threads; queued requests migrate with them. *)
+  let total = Hashtbl.length t.tenant_thread in
+  if t.active > 0 && total > 0 then begin
+    let target = (total + t.active - 1) / t.active in
+    let moves = ref [] in
+    Hashtbl.iter
+      (fun tenant thread ->
+        if thread >= t.active || Dataplane.tenant_count t.threads.(thread) > target then
+          moves := (tenant, thread) :: !moves)
+      t.tenant_thread;
+    List.iter
+      (fun (tenant, thread) ->
+        let dest = least_loaded_thread t in
+        if
+          dest <> thread
+          && (thread >= t.active
+             || Dataplane.tenant_count t.threads.(thread)
+                > 1 + Dataplane.tenant_count t.threads.(dest))
+        then begin
+          match Dataplane.detach_tenant t.threads.(thread) ~id:tenant with
+          | Some (slo, rate, backlog) ->
+            Dataplane.attach_tenant t.threads.(dest) ~id:tenant ~slo ~token_rate:rate ~backlog;
+            Hashtbl.replace t.tenant_thread tenant dest
+          | None -> ()
+        end)
+      !moves;
+    refresh_conn_counts t
+  end
+
+let scale_threads t n =
+  let n = max 1 (min n (Array.length t.threads)) in
+  if n <> t.active then begin
+    t.active <- n;
+    Global_bucket.set_active_threads t.global (List.init n Fun.id);
+    rebalance t
+  end
+
+let enable_autoscaling t ?(period = Time.ms 10) ?(high_watermark = 0.85) ?(low_watermark = 0.3)
+    () =
+  let rec monitor () =
+    ignore
+      (Sim.after t.sim period (fun () ->
+           let util = ref 0.0 in
+           for i = 0 to t.active - 1 do
+             util := !util +. Dataplane.utilization t.threads.(i)
+           done;
+           let avg = !util /. float_of_int t.active in
+           if avg > high_watermark && t.active < Array.length t.threads then
+             scale_threads t (t.active + 1)
+           else if avg < low_watermark && t.active > 1 then scale_threads t (t.active - 1);
+           monitor ()))
+  in
+  monitor ()
+
+let requests_completed t = t.completed
+
+let deficit_notifications t ~tenant =
+  match Hashtbl.find_opt t.deficit_notes tenant with Some r -> !r | None -> 0
+
+(* Paper §4.3: the control plane flags tenants that consistently burst
+   above their allocation for SLO renegotiation. *)
+let needs_renegotiation ?(threshold = 100) t ~tenant =
+  deficit_notifications t ~tenant >= threshold
+
+let tenant_completed t ~tenant =
+  match Hashtbl.find_opt t.tenant_done tenant with Some r -> !r | None -> 0
+
+let tokens_spent t =
+  Array.fold_left (fun acc dp -> acc +. Dataplane.tokens_spent dp) 0.0 t.threads
+
+let token_usage_rate t =
+  Array.fold_left (fun acc dp -> acc +. Dataplane.token_usage_rate dp) 0.0 t.threads
+
+let thread_utilizations t =
+  List.init t.active (fun i -> Dataplane.utilization t.threads.(i))
+
+let registered_tenants t = Control_plane.registered_count t.control_plane

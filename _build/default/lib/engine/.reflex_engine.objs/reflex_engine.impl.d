@@ -1,0 +1,1 @@
+lib/engine/reflex_engine.ml: Heap Prng Resource Sim Time

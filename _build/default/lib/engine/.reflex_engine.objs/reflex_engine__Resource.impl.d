@@ -1,0 +1,1 @@
+lib/engine/resource.ml: Queue Sim Time

@@ -1,0 +1,75 @@
+type 'a entry = { time : Time.t; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow t entry =
+  let cap = Array.length t.arr in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let narr = Array.make ncap entry in
+    Array.blit t.arr 0 narr 0 t.size;
+    t.arr <- narr
+  end
+
+let push t ~time ~seq v =
+  let entry = { time; seq; value = v } in
+  grow t entry;
+  t.arr.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less t.arr.(!i) t.arr.(parent) then begin
+      let tmp = t.arr.(!i) in
+      t.arr.(!i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.arr.(0) in
+    Some (e.time, e.seq, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.arr.(!i) in
+          t.arr.(!i) <- t.arr.(!smallest);
+          t.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let clear t = t.size <- 0

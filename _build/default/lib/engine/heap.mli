@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [(Time.t, sequence)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant execute in FIFO order — essential for deterministic replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq v] inserts [v]. *)
+val push : 'a t -> time:Time.t -> seq:int -> 'a -> unit
+
+(** Smallest element, or [None] when empty. *)
+val peek : 'a t -> (Time.t * int * 'a) option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> (Time.t * int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,13 @@
+(** Discrete-event simulation kernel used by every ReFlex component.
+
+    - {!Time}: int64-nanosecond virtual time
+    - {!Prng}: deterministic splitmix64 random streams
+    - {!Heap}: the event priority queue
+    - {!Sim}: the event loop
+    - {!Resource}: multi-server FIFO queues with two priorities *)
+
+module Time = Time
+module Prng = Prng
+module Heap = Heap
+module Sim = Sim
+module Resource = Resource

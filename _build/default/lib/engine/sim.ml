@@ -1,0 +1,67 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+
+type event_id = event
+
+type t = {
+  mutable clock : Time.t;
+  heap : event Heap.t;
+  mutable seq : int;
+  mutable executed : int;
+  root_prng : Prng.t;
+}
+
+let create ?(seed = 0x5EED_0F_F1A5_1234L) () =
+  { clock = Time.zero; heap = Heap.create (); seq = 0; executed = 0; root_prng = Prng.create seed }
+
+let now t = t.clock
+let prng t = t.root_prng
+
+let at t time f =
+  if Time.(time < t.clock) then
+    invalid_arg
+      (Printf.sprintf "Sim.at: scheduling in the past (%s < %s)" (Time.to_string time)
+         (Time.to_string t.clock));
+  let ev = { cancelled = false; action = f } in
+  Heap.push t.heap ~time ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  ev
+
+let after t delay f = at t (Time.add t.clock delay) f
+
+let cancel _t ev = ev.cancelled <- true
+
+let run ?(until = Time.infinity) t =
+  let executed_before = t.executed in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some (time, _, _) when Time.(time > until) -> continue := false
+    | Some _ -> (
+      match Heap.pop t.heap with
+      | None -> continue := false
+      | Some (time, _, ev) ->
+        t.clock <- time;
+        if not ev.cancelled then begin
+          t.executed <- t.executed + 1;
+          ev.action ()
+        end)
+  done;
+  (* The clock advances to [until] even if the queue drained earlier, so
+     that rate computations based on [now] are well defined. *)
+  if Time.(until < Time.infinity) && Time.(t.clock < until) then t.clock <- until;
+  t.executed - executed_before
+
+let events_executed t = t.executed
+let pending t = Heap.length t.heap
+
+let every t ~every:period ~until f =
+  if Time.(period <= Time.zero) then invalid_arg "Sim.every: non-positive period";
+  let rec tick time =
+    if Time.(time <= until) then
+      ignore
+        (at t time (fun () ->
+             f time;
+             tick (Time.add time period)))
+  in
+  tick (Time.add t.clock period)

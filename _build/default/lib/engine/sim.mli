@@ -1,0 +1,42 @@
+(** Discrete-event simulation kernel.
+
+    A simulation owns a virtual clock and an event queue.  Events are
+    thunks executed at their scheduled time, in (time, insertion) order.
+    Everything in the repository — Flash dies, NIC queues, dataplane
+    threads, load generators — is driven by this loop. *)
+
+type t
+
+(** Handle for a scheduled event, usable with {!cancel}. *)
+type event_id
+
+val create : ?seed:int64 -> unit -> t
+
+(** Current virtual time. *)
+val now : t -> Time.t
+
+(** Root PRNG stream for this simulation; [Prng.split] it per component. *)
+val prng : t -> Prng.t
+
+(** [at t time f] schedules [f] at absolute [time] (must be >= now). *)
+val at : t -> Time.t -> (unit -> unit) -> event_id
+
+(** [after t delay f] schedules [f] at [now + delay]. *)
+val after : t -> Time.t -> (unit -> unit) -> event_id
+
+(** Cancel a pending event.  Cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** Run until the event queue drains or [until] (inclusive) is reached.
+    Returns the number of events executed by this call. *)
+val run : ?until:Time.t -> t -> int
+
+(** Total number of events executed since [create]. *)
+val events_executed : t -> int
+
+(** Number of events currently pending. *)
+val pending : t -> int
+
+(** Run [f now] every [every] until [until]. *)
+val every : t -> every:Time.t -> until:Time.t -> (Time.t -> unit) -> unit

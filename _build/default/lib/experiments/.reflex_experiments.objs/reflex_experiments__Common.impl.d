@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Client_lib Fabric List Load_gen Message Reflex_baselines Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_proto Sim Stack_model Time

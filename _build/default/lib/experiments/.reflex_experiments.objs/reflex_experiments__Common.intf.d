@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Client_lib Fabric Load_gen Reflex_baselines Reflex_client Reflex_core Reflex_engine Reflex_flash Reflex_net Reflex_proto Sim Stack_model Time

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Calibrate Common Device_profile List Reflex_engine Reflex_flash Reflex_stats Table Time

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Client_lib Common Fabric Float Hdr_histogram Int64 List Load_gen Printf Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_stats Sim Stack_model Table Time

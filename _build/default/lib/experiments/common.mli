@@ -1,0 +1,71 @@
+(** Shared scaffolding for the paper-reproduction experiments: world
+    construction (simulation + fabric + servers + clients), measured load
+    runs, and quick/full duration scaling. *)
+
+open Reflex_engine
+open Reflex_net
+open Reflex_client
+
+(** Quick mode shortens measurement windows and thins sweeps so the whole
+    harness finishes in minutes; Full uses longer windows for smoother
+    percentiles. *)
+type mode = Quick | Full
+
+val window : mode -> Time.t
+(** Base measurement window: 150ms (Quick) / 500ms (Full). *)
+
+val scale_points : mode -> 'a list -> 'a list -> 'a list
+(** [scale_points mode quick full] picks the sweep for the mode. *)
+
+(** A ReFlex deployment on a fresh simulation. *)
+type reflex_world = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  server : Reflex_core.Server.t;
+}
+
+val make_reflex :
+  ?n_threads:int ->
+  ?max_threads:int ->
+  ?qos:bool ->
+  ?profile:Reflex_flash.Device_profile.t ->
+  ?neg_limit:float ->
+  ?donate_fraction:float ->
+  ?seed:int64 ->
+  unit ->
+  reflex_world
+
+(** A baseline (libaio / iSCSI) deployment. *)
+type baseline_world = {
+  bsim : Sim.t;
+  bfabric : Fabric.t;
+  bserver : Reflex_baselines.Baseline_server.t;
+}
+
+val make_baseline :
+  kind:Reflex_baselines.Baseline_server.kind -> ?n_threads:int -> ?seed:int64 -> unit -> baseline_world
+
+(** Connect a client and register; runs the simulation until the
+    registration completes.  Raises [Failure] if it is refused. *)
+val client_of : reflex_world -> ?stack:Stack_model.t -> ?slo:Reflex_proto.Message.slo -> tenant:int -> unit -> Client_lib.t
+
+val client_of_baseline :
+  baseline_world -> ?stack:Stack_model.t -> tenant:int -> unit -> Client_lib.t
+
+(** Try to register an LC tenant; [Ok client] or [Error status]. *)
+val try_client_of :
+  reflex_world ->
+  ?stack:Stack_model.t ->
+  ?slo:Reflex_proto.Message.slo ->
+  tenant:int ->
+  unit ->
+  (Client_lib.t, Reflex_proto.Message.status) result
+
+(** [measure_generators sim gens ~warmup ~window] runs warmup, marks all
+    generators, runs the window, freezes them, then drains briefly. *)
+val measure_generators : Sim.t -> Load_gen.t list -> warmup:Time.t -> window:Time.t -> unit
+
+(** Helper to build a latency-critical register-message SLO. *)
+val lc_slo : latency_us:int -> iops:int -> read_pct:int -> Reflex_proto.Message.slo
+
+val be_slo : ?read_pct:int -> unit -> Reflex_proto.Message.slo

@@ -1,0 +1,63 @@
+open Reflex_engine
+open Reflex_flash
+open Reflex_stats
+
+type row = { read_pct : int; offered_iops : float; achieved_iops : float; p95_read_us : float }
+
+(* Each ratio sweeps load from light to just past its own saturation
+   point, like the paper's per-curve ranges. *)
+let rates_for ~read_pct mode =
+  let upto top n = List.init n (fun i -> top *. float_of_int (i + 1) /. float_of_int n) in
+  let top =
+    match read_pct with
+    | 100 -> 1_200_000.0
+    | 99 -> 700_000.0
+    | 95 -> 450_000.0
+    | 90 -> 320_000.0
+    | 75 -> 190_000.0
+    | _ -> 110_000.0
+  in
+  upto top (match mode with Common.Quick -> 5 | Common.Full -> 10)
+
+let run ?(mode = Common.Quick) () =
+  let config =
+    {
+      Calibrate.default_config with
+      duration = Common.window mode;
+      warmup = Time.ms 50;
+    }
+  in
+  List.concat_map
+    (fun read_pct ->
+      List.map
+        (fun rate ->
+          let p =
+            Calibrate.measure ~config Device_profile.device_a
+              ~read_ratio:(float_of_int read_pct /. 100.0)
+              ~bytes:4096 ~rate
+          in
+          {
+            read_pct;
+            offered_iops = rate;
+            achieved_iops = p.Calibrate.achieved_iops;
+            p95_read_us = p.Calibrate.p95_read_us;
+          })
+        (rates_for ~read_pct mode))
+    [ 100; 99; 95; 90; 75; 50 ]
+
+let to_table rows =
+  let t =
+    Table.create ~title:"Figure 1: p95 read latency vs total IOPS (device A, 4KB)"
+      ~columns:[ "read%"; "offered KIOPS"; "achieved KIOPS"; "p95 read (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.read_pct;
+          Table.cell_f (r.offered_iops /. 1e3);
+          Table.cell_f (r.achieved_iops /. 1e3);
+          Table.cell_f r.p95_read_us;
+        ])
+    rows;
+  t

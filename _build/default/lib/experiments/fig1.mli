@@ -1,0 +1,13 @@
+(** Figure 1: p95 read latency versus total IOPS on device A for 4KB
+    requests at read ratios 100/99/95/90/75/50%% — the read/write
+    interference characterization that motivates the QoS scheduler. *)
+
+type row = {
+  read_pct : int;
+  offered_iops : float;
+  achieved_iops : float;
+  p95_read_us : float;
+}
+
+val run : ?mode:Common.mode -> unit -> row list
+val to_table : row list -> Reflex_stats.Table.t

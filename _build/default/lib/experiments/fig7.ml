@@ -1,0 +1,152 @@
+open Reflex_engine
+open Reflex_stats
+open Reflex_apps
+
+type fio_row = { fpath : string; threads : int; qd : int; mbps : float; p95_us : float }
+
+type app_row = {
+  apath : string;
+  bench : string;
+  elapsed_ms : float;
+  local_ms : float;
+  slowdown : float;
+}
+
+(* Build an access path in a fresh world and hand it to [k].  The path
+   kinds mirror the paper's setups: local NVMe; the ReFlex block driver
+   with 6 hardware contexts; iSCSI with 3 worker threads. *)
+let with_path kind k =
+  let sim = Sim.create () in
+  (* Remote paths must finish their registration handshakes (which needs
+     the simulation to run) before the workload starts. *)
+  let ready make =
+    let path = ref None in
+    make (fun p -> path := Some p);
+    ignore (Sim.run sim);
+    match !path with
+    | Some p -> k sim p
+    | None -> failwith "block device did not come up"
+  in
+  match kind with
+  | `Local ->
+    let local = Reflex_baselines.Local.create sim ~n_threads:5 () in
+    k sim (Access_path.local local)
+  | `Reflex ->
+    let fabric = Reflex_net.Fabric.create sim () in
+    let server = Reflex_core.Server.create sim ~fabric () in
+    ready
+      (Access_path.remote sim fabric
+         ~server_host:(Reflex_core.Server.host server)
+         ~accept:(Reflex_core.Server.accept server)
+         ~n_contexts:6 ~tenant:1 ())
+  | `Iscsi ->
+    let fabric = Reflex_net.Fabric.create sim () in
+    (* The open-iscsi target serves from a single service thread — the
+       ~70K IOPS/core ceiling is what caps every iSCSI result. *)
+    let server =
+      Reflex_baselines.Baseline_server.create sim ~fabric
+        ~kind:Reflex_baselines.Baseline_server.Iscsi ~n_threads:1 ()
+    in
+    ready
+      (Access_path.remote sim fabric
+         ~server_host:(Reflex_baselines.Baseline_server.host server)
+         ~accept:(Reflex_baselines.Baseline_server.accept server)
+         ~n_contexts:3 ~tenant:1 ())
+
+let path_name = function `Local -> "Local" | `Reflex -> "ReFlex" | `Iscsi -> "iSCSI"
+
+(* ---------------- 7a: FIO ---------------- *)
+
+let run_fio ?(mode = Common.Quick) () =
+  let duration = Time.scale (Common.window mode) 1.5 in
+  let qds = Common.scale_points mode [ 1; 4; 16; 64 ] [ 1; 2; 4; 8; 16; 32; 64 ] in
+  (* Thread counts from the paper: 5 local, 3 iSCSI, 6 ReFlex. *)
+  let setups = [ (`Local, 5); (`Iscsi, 3); (`Reflex, 6) ] in
+  List.concat_map
+    (fun (kind, threads) ->
+      List.map
+        (fun qd ->
+          let result = ref None in
+          with_path kind (fun sim path ->
+              Fio.run sim path ~threads ~qd ~bytes:4096 ~duration () (fun r -> result := Some r);
+              ignore (Sim.run sim));
+          match !result with
+          | Some r ->
+            { fpath = path_name kind; threads; qd; mbps = r.Fio.mbps; p95_us = r.Fio.p95_us }
+          | None -> failwith "fio did not complete")
+        qds)
+    setups
+
+(* ---------------- 7b / 7c: application slowdowns ---------------- *)
+
+let app_rows ~benches ~run_bench =
+  let elapsed kind bench =
+    let result = ref None in
+    with_path kind (fun sim path ->
+        run_bench sim path bench (fun ~elapsed -> result := Some elapsed);
+        ignore (Sim.run sim));
+    match !result with
+    | Some e -> Time.to_float_ms e
+    | None -> failwith "benchmark did not complete"
+  in
+  List.concat_map
+    (fun (name, bench) ->
+      let local_ms = elapsed `Local bench in
+      List.map
+        (fun kind ->
+          let ms = elapsed kind bench in
+          {
+            apath = path_name kind;
+            bench = name;
+            elapsed_ms = ms;
+            local_ms;
+            slowdown = ms /. local_ms;
+          })
+        [ `Iscsi; `Reflex ])
+    benches
+
+let run_flashx ?(mode = Common.Quick) () =
+  ignore mode;
+  app_rows
+    ~benches:(List.map (fun b -> (b.Flashx.name, b)) Flashx.all)
+    ~run_bench:(fun sim path b k -> Flashx.run sim path b k)
+
+let run_rocksdb ?(mode = Common.Quick) () =
+  ignore mode;
+  app_rows
+    ~benches:(List.map (fun b -> (b.Rocksdb.name, b)) Rocksdb.all)
+    ~run_bench:(fun sim path b k -> Rocksdb.run sim path b k)
+
+(* ---------------- tables ---------------- *)
+
+let fio_table rows =
+  let t =
+    Table.create ~title:"Figure 7a: FIO 4KB random read, p95 latency vs throughput"
+      ~columns:[ "path"; "threads"; "qd"; "MB/s"; "p95 (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.fpath; Table.cell_i r.threads; Table.cell_i r.qd; Table.cell_f r.mbps; Table.cell_f r.p95_us ])
+    rows;
+  t
+
+let app_table ~title rows =
+  let t =
+    Table.create ~title ~columns:[ "bench"; "path"; "elapsed (ms)"; "local (ms)"; "slowdown" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.bench;
+          r.apath;
+          Table.cell_f r.elapsed_ms;
+          Table.cell_f r.local_ms;
+          Table.cell_f ~decimals:3 r.slowdown;
+        ])
+    rows;
+  t
+
+let flashx_table = app_table ~title:"Figure 7b: FlashX slowdown over local Flash"
+let rocksdb_table = app_table ~title:"Figure 7c: RocksDB slowdown over local Flash"

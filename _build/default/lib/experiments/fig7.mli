@@ -1,0 +1,33 @@
+(** Figure 7: legacy Linux applications over the remote block device.
+
+    - 7a: FIO 4KB random-read latency-throughput curves for local NVMe,
+      iSCSI, and the ReFlex block driver (which saturates the 10GbE link;
+      iSCSI tops out ~4x lower with ~2x the latency).
+    - 7b: FlashX graph analytics (WCC / PageRank / BFS / SCC) end-to-end
+      slowdown versus local Flash.
+    - 7c: RocksDB db_bench (bulkload / randomread / readwhilewriting)
+      slowdown versus local Flash. *)
+
+type fio_row = {
+  fpath : string;
+  threads : int;
+  qd : int;
+  mbps : float;
+  p95_us : float;
+}
+
+type app_row = {
+  apath : string;  (** "iSCSI" | "ReFlex" *)
+  bench : string;
+  elapsed_ms : float;
+  local_ms : float;
+  slowdown : float;
+}
+
+val run_fio : ?mode:Common.mode -> unit -> fio_row list
+val run_flashx : ?mode:Common.mode -> unit -> app_row list
+val run_rocksdb : ?mode:Common.mode -> unit -> app_row list
+
+val fio_table : fio_row list -> Reflex_stats.Table.t
+val flashx_table : app_row list -> Reflex_stats.Table.t
+val rocksdb_table : app_row list -> Reflex_stats.Table.t

@@ -1,0 +1,14 @@
+(** One module per table/figure in the paper's evaluation (§5).  Each
+    [run] returns structured rows; each [to_table] renders them like the
+    paper reports them.  See DESIGN.md for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured results. *)
+
+module Common = Common
+module Fig1 = Fig1
+module Fig3 = Fig3
+module Table2 = Table2
+module Fig4 = Fig4
+module Fig5 = Fig5
+module Fig6 = Fig6
+module Fig7 = Fig7
+module Ablations = Ablations

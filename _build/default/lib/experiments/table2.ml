@@ -1,0 +1,133 @@
+open Reflex_engine
+open Reflex_net
+open Reflex_client
+open Reflex_stats
+
+type row = {
+  path : string;
+  read_avg_us : float;
+  read_p95_us : float;
+  write_avg_us : float;
+  write_p95_us : float;
+}
+
+let paper =
+  [
+    { path = "Local (SPDK)"; read_avg_us = 78.; read_p95_us = 90.; write_avg_us = 11.; write_p95_us = 17. };
+    { path = "iSCSI"; read_avg_us = 211.; read_p95_us = 251.; write_avg_us = 155.; write_p95_us = 215. };
+    { path = "Libaio (Linux)"; read_avg_us = 183.; read_p95_us = 205.; write_avg_us = 180.; write_p95_us = 205. };
+    { path = "Libaio (IX)"; read_avg_us = 121.; read_p95_us = 139.; write_avg_us = 117.; write_p95_us = 144. };
+    { path = "ReFlex (Linux)"; read_avg_us = 117.; read_p95_us = 135.; write_avg_us = 58.; write_p95_us = 64. };
+    { path = "ReFlex (IX)"; read_avg_us = 99.; read_p95_us = 113.; write_avg_us = 31.; write_p95_us = 34. };
+  ]
+
+(* qd-1 prober over a client connection: mean and p95 for each I/O kind. *)
+let probe_remote sim gen_of =
+  let until = Time.ms 300 in
+  let measure read_ratio =
+    let gen = gen_of ~read_ratio ~until in
+    ignore (Sim.run ~until:(Time.add (Sim.now sim) (Time.ms 30)) sim);
+    Load_gen.mark_measurement_start gen;
+    ignore (Sim.run ~until:(Time.add (Sim.now sim) until) sim);
+    gen
+  in
+  let reads = measure 1.0 in
+  let writes = measure 0.0 in
+  ( Load_gen.mean_read_us reads,
+    Load_gen.p95_read_us reads,
+    Load_gen.mean_write_us writes,
+    Load_gen.p95_write_us writes )
+
+let reflex_row ~stack ~label () =
+  let w = Common.make_reflex () in
+  let client = Common.client_of w ~stack ~tenant:1 () in
+  let r_avg, r_p95, w_avg, w_p95 =
+    probe_remote w.Common.sim (fun ~read_ratio ~until ->
+        Load_gen.closed_loop w.Common.sim ~client ~depth:1 ~think:(Time.us 50) ~read_ratio
+          ~bytes:4096
+          ~until:(Time.add (Sim.now w.Common.sim) until)
+          ())
+  in
+  { path = label; read_avg_us = r_avg; read_p95_us = r_p95; write_avg_us = w_avg; write_p95_us = w_p95 }
+
+let baseline_row ~kind ~stack ~label () =
+  let w = Common.make_baseline ~kind () in
+  let client = Common.client_of_baseline w ~stack ~tenant:1 () in
+  let r_avg, r_p95, w_avg, w_p95 =
+    probe_remote w.Common.bsim (fun ~read_ratio ~until ->
+        Load_gen.closed_loop w.Common.bsim ~client ~depth:1 ~think:(Time.us 50) ~read_ratio
+          ~bytes:4096
+          ~until:(Time.add (Sim.now w.Common.bsim) until)
+          ())
+  in
+  { path = label; read_avg_us = r_avg; read_p95_us = r_p95; write_avg_us = w_avg; write_p95_us = w_p95 }
+
+let local_row () =
+  let sim = Sim.create () in
+  let local = Reflex_baselines.Local.create sim () in
+  let probe kind =
+    let hist = Hdr_histogram.create () in
+    let remaining = ref 3_000 in
+    let rec next () =
+      if !remaining > 0 then begin
+        decr remaining;
+        Reflex_baselines.Local.submit local ~kind ~bytes:4096 (fun ~latency ->
+            Hdr_histogram.record hist latency;
+            ignore (Sim.after sim (Time.us 50) next))
+      end
+    in
+    ignore (Sim.at sim (Sim.now sim) next);
+    ignore (Sim.run sim);
+    (Hdr_histogram.mean_us hist, Hdr_histogram.percentile_us hist 95.0)
+  in
+  let r_avg, r_p95 = probe Reflex_flash.Io_op.Read in
+  let w_avg, w_p95 = probe Reflex_flash.Io_op.Write in
+  {
+    path = "Local (SPDK)";
+    read_avg_us = r_avg;
+    read_p95_us = r_p95;
+    write_avg_us = w_avg;
+    write_p95_us = w_p95;
+  }
+
+let run ?(mode = Common.Quick) () =
+  ignore mode;
+  [
+    local_row ();
+    baseline_row ~kind:Reflex_baselines.Baseline_server.Iscsi ~stack:Stack_model.linux_client
+      ~label:"iSCSI" ();
+    baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.linux_client
+      ~label:"Libaio (Linux)" ();
+    baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.ix_client
+      ~label:"Libaio (IX)" ();
+    reflex_row ~stack:Stack_model.linux_client ~label:"ReFlex (Linux)" ();
+    reflex_row ~stack:Stack_model.ix_client ~label:"ReFlex (IX)" ();
+  ]
+
+let to_table rows =
+  let t =
+    Table.create ~title:"Table 2: unloaded 4KB latency, measured vs paper (us)"
+      ~columns:
+        [ "path"; "read avg"; "read p95"; "write avg"; "write p95"; "paper read"; "paper write" ]
+  in
+  List.iter
+    (fun r ->
+      let p = List.find_opt (fun p -> p.path = r.path) paper in
+      let paper_read, paper_write =
+        match p with
+        | Some p -> (Printf.sprintf "%.0f/%.0f" p.read_avg_us p.read_p95_us,
+                     Printf.sprintf "%.0f/%.0f" p.write_avg_us p.write_p95_us)
+        | None -> ("-", "-")
+      in
+      Table.add_row t
+        [
+          r.path;
+          Table.cell_f r.read_avg_us;
+          Table.cell_f r.read_p95_us;
+          Table.cell_f r.write_avg_us;
+          Table.cell_f r.write_p95_us;
+          paper_read;
+          paper_write;
+        ])
+    rows;
+  t

@@ -1,0 +1,1 @@
+lib/flash/reflex_flash.ml: Calibrate Device_profile Io_op Nvme_model Queue_pair

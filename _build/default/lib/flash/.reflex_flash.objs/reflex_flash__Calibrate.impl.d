@@ -1,0 +1,1 @@
+lib/flash/calibrate.ml: Device_profile Float Hdr_histogram Io_op Linear_fit List Nvme_model Prng Reflex_engine Reflex_stats Sim Time

@@ -1,0 +1,1 @@
+lib/flash/calibrate.mli: Device_profile Reflex_engine

@@ -1,0 +1,1 @@
+lib/flash/device_profile.ml: Format List Reflex_engine String Time

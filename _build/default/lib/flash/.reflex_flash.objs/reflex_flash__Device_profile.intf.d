@@ -1,0 +1,1 @@
+lib/flash/device_profile.mli: Format Reflex_engine Time

@@ -1,0 +1,1 @@
+lib/flash/io_op.ml: Format

@@ -1,0 +1,1 @@
+lib/flash/nvme_model.ml: Array Device_profile Float Io_op Prng Queue Reflex_engine Resource Sim Time

@@ -1,0 +1,1 @@
+lib/flash/nvme_model.mli: Device_profile Io_op Prng Reflex_engine Sim Time

@@ -1,0 +1,1 @@
+lib/flash/queue_pair.ml: Device_profile Io_op List Nvme_model Queue Reflex_engine

@@ -1,0 +1,1 @@
+lib/flash/queue_pair.mli: Io_op Nvme_model Reflex_engine Time

@@ -1,0 +1,11 @@
+type kind = Read | Write
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+let equal_kind a b = match (a, b) with Read, Read | Write, Write -> true | _ -> false
+
+let lba_size = 4096
+
+let sectors_of_bytes b =
+  if b <= 0 then invalid_arg "Io_op.sectors_of_bytes: non-positive size";
+  max 1 ((b + lba_size - 1) / lba_size)

@@ -1,0 +1,142 @@
+open Reflex_engine
+
+(* Each die is an independent single-server queue; requests are routed to
+   the less-loaded of two randomly chosen dies ("power of two choices",
+   approximating the striping + limited-queue parallelism of a real SSD).
+   Reads are high priority but service is non-preemptive, so a read routed
+   to a die mid-program or mid-erase waits — the physical root of the
+   read/write interference in the paper's Figure 1. *)
+
+type t = {
+  sim : Sim.t;
+  p : Device_profile.t;
+  prng : Prng.t;
+  dies : Resource.t array;
+  die_work : Time.t array; (* outstanding service time per die *)
+  die_programs : int array; (* programs since last erase, per die *)
+  mutable last_write : Time.t option;
+  mutable wbuf_used : int;
+  wbuf_waiters : (unit -> unit) Queue.t;
+  mutable reads_done : int;
+  mutable writes_done : int;
+}
+
+let create sim ~profile ~prng =
+  let n = profile.Device_profile.n_dies in
+  {
+    sim;
+    p = profile;
+    prng;
+    dies = Array.init n (fun _ -> Resource.create sim ~servers:1);
+    die_work = Array.make n Time.zero;
+    die_programs = Array.make n 0;
+    last_write = None;
+    wbuf_used = 0;
+    wbuf_waiters = Queue.create ();
+    reads_done = 0;
+    writes_done = 0;
+  }
+
+let profile t = t.p
+
+let read_only_mode t =
+  match t.last_write with
+  | None -> true
+  | Some w -> Time.(Time.diff (Sim.now t.sim) w > t.p.ro_window)
+
+(* Wear lengthens every die operation: programs and erases take longer on
+   aged cells, and reads pay more error-correction retries. *)
+let noisy t ~sigma base =
+  Time.scale base (t.p.wear *. Prng.lognormal t.prng ~median:1.0 ~sigma)
+
+(* Least-outstanding-work of two random choices. *)
+let pick_die t =
+  let n = Array.length t.dies in
+  let i = Prng.int t.prng n in
+  let j = Prng.int t.prng n in
+  if Time.(t.die_work.(i) <= t.die_work.(j)) then i else j
+
+let run_on_die t ~die ~priority ~service k =
+  t.die_work.(die) <- Time.add t.die_work.(die) service;
+  Resource.submit t.dies.(die) ~priority ~service (fun ~started ~finished ->
+      t.die_work.(die) <- Time.sub t.die_work.(die) service;
+      k ~started ~finished)
+
+let submit_read t ~bytes cb =
+  let sectors = Io_op.sectors_of_bytes bytes in
+  let base = Time.scale t.p.t_read (float_of_int sectors) in
+  let occupancy = if read_only_mode t then Time.scale base (1.0 /. t.p.ro_speedup) else base in
+  let service = noisy t ~sigma:t.p.service_sigma occupancy in
+  let submit_time = Sim.now t.sim in
+  let die = pick_die t in
+  run_on_die t ~die ~priority:Resource.High ~service (fun ~started:_ ~finished:_ ->
+      ignore
+        (Sim.after t.sim t.p.read_pipeline (fun () ->
+             t.reads_done <- t.reads_done + 1;
+             cb ~latency:(Time.diff (Sim.now t.sim) submit_time))))
+
+(* Backend work for one write: program jobs plus an erase burst every
+   [erase_every] programs on a die.  All low priority: reads dispatch
+   first, but cannot preempt a job once started.  The program work is
+   split into ~2-token chunks spread over the dies (real controllers
+   interleave page programs across planes); the blocking unit seen by a
+   read is therefore a chunk or an erase, not one monolithic program. *)
+let chunk_tokens = 2.0
+
+let submit_backend t ~sectors =
+  let p = t.p in
+  let total_tokens = p.write_cost *. float_of_int sectors *. (1.0 -. p.erase_frac) in
+  let n_chunks = max 1 (int_of_float (Float.round (total_tokens /. chunk_tokens))) in
+  let chunk = Time.scale p.t_read (total_tokens /. float_of_int n_chunks) in
+  let remaining = ref n_chunks in
+  for _ = 1 to n_chunks do
+    let die = pick_die t in
+    run_on_die t ~die ~priority:Resource.Low ~service:(noisy t ~sigma:p.service_sigma chunk)
+      (fun ~started:_ ~finished:_ ->
+        decr remaining;
+        if !remaining = 0 then begin
+          (* The DRAM buffer slot frees once the data is programmed. *)
+          t.wbuf_used <- t.wbuf_used - 1;
+          match Queue.take_opt t.wbuf_waiters with Some k -> k () | None -> ()
+        end;
+        t.die_programs.(die) <- t.die_programs.(die) + 1;
+        if t.die_programs.(die) >= p.erase_every then begin
+          t.die_programs.(die) <- 0;
+          let erase =
+            Time.scale p.t_read (p.erase_frac *. float_of_int p.erase_every *. chunk_tokens)
+          in
+          run_on_die t ~die ~priority:Resource.Low
+            ~service:(noisy t ~sigma:p.service_sigma erase) (fun ~started:_ ~finished:_ -> ())
+        end)
+  done
+
+let submit_write t ~bytes cb =
+  let sectors = Io_op.sectors_of_bytes bytes in
+  t.last_write <- Some (Sim.now t.sim);
+  let submit_time = Sim.now t.sim in
+  let run_with_slot () =
+    t.wbuf_used <- t.wbuf_used + 1;
+    submit_backend t ~sectors;
+    let ack = noisy t ~sigma:t.p.write_ack_sigma t.p.t_write_ack in
+    ignore
+      (Sim.after t.sim ack (fun () ->
+           t.writes_done <- t.writes_done + 1;
+           cb ~latency:(Time.diff (Sim.now t.sim) submit_time)))
+  in
+  if t.wbuf_used < t.p.write_buffer_slots then run_with_slot ()
+  else Queue.add run_with_slot t.wbuf_waiters
+
+let submit t ~kind ~bytes cb =
+  if bytes <= 0 then invalid_arg "Nvme_model.submit: non-positive size";
+  match (kind : Io_op.kind) with
+  | Read -> submit_read t ~bytes cb
+  | Write -> submit_write t ~bytes cb
+
+let reads_completed t = t.reads_done
+let writes_completed t = t.writes_done
+let write_buffer_used t = t.wbuf_used
+
+let utilization t =
+  let n = Array.length t.dies in
+  let sum = Array.fold_left (fun acc d -> acc +. Resource.utilization d) 0.0 t.dies in
+  sum /. float_of_int n

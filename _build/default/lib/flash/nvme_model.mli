@@ -1,0 +1,39 @@
+(** Simulated NVMe Flash device.
+
+    The model that gives rise to the paper's Figure 1 behaviour:
+
+    - [n_dies] parallel service units behind a shared dispatch queue;
+    - reads occupy a die at {e high} priority ([t_read] per 4KB, halved
+      under a pure-read load — the C(read, 100%) discount);
+    - writes acknowledge quickly from a DRAM buffer but enqueue
+      [write_cost x t_read] of {e low}-priority backend work (program +
+      wear leveling), plus periodic long erase bursts;
+    - service is non-preemptive, so reads queue behind in-flight programs
+      and erases — that is read/write interference, and it is why tail
+      read latency depends on both total load and read/write ratio. *)
+
+open Reflex_engine
+
+type t
+
+val create : Sim.t -> profile:Device_profile.t -> prng:Prng.t -> t
+
+val profile : t -> Device_profile.t
+
+(** [submit t ~kind ~bytes cb] issues an I/O; [cb ~latency] fires at
+    completion (for writes: at DRAM-buffer acknowledgement). *)
+val submit : t -> kind:Io_op.kind -> bytes:int -> (latency:Time.t -> unit) -> unit
+
+(** True when a read arriving now would see the pure-read fast path. *)
+val read_only_mode : t -> bool
+
+(** Completed reads / writes since creation. *)
+val reads_completed : t -> int
+
+val writes_completed : t -> int
+
+(** Write-buffer occupancy (for observability and tests). *)
+val write_buffer_used : t -> int
+
+(** Die-busy fraction since creation. *)
+val utilization : t -> float

@@ -1,0 +1,37 @@
+type completion = { cookie : int; kind : Io_op.kind; latency : Reflex_engine.Time.t }
+
+type t = {
+  dev : Nvme_model.t;
+  cq : completion Queue.t;
+  mutable inflight : int;
+  mutable completion_hook : unit -> unit;
+}
+
+let create dev = { dev; cq = Queue.create (); inflight = 0; completion_hook = (fun () -> ()) }
+
+let set_completion_hook t f = t.completion_hook <- f
+
+let submit t ~kind ~bytes ~cookie =
+  let depth = (Nvme_model.profile t.dev).Device_profile.sq_depth in
+  if t.inflight >= depth then `Full
+  else begin
+    t.inflight <- t.inflight + 1;
+    Nvme_model.submit t.dev ~kind ~bytes (fun ~latency ->
+        t.inflight <- t.inflight - 1;
+        Queue.add { cookie; kind; latency } t.cq;
+        t.completion_hook ());
+    `Ok
+  end
+
+let poll t ~max =
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.cq with
+      | None -> List.rev acc
+      | Some c -> take (c :: acc) (n - 1)
+  in
+  take [] max
+
+let inflight t = t.inflight
+let completions_pending t = Queue.length t.cq

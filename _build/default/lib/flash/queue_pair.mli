@@ -1,0 +1,33 @@
+(** An NVMe submission/completion queue pair.
+
+    Each ReFlex dataplane thread owns one queue pair with direct access
+    (paper §3.1).  Submissions are bounded by the profile's [sq_depth];
+    completions accumulate in the completion queue until polled, matching
+    the polling execution model. *)
+
+open Reflex_engine
+
+type t
+
+type completion = { cookie : int; kind : Io_op.kind; latency : Time.t }
+
+val create : Nvme_model.t -> t
+
+(** [submit t ~kind ~bytes ~cookie] returns [`Full] when the submission
+    queue is at depth (the caller must retry later), [`Ok] otherwise. *)
+val submit : t -> kind:Io_op.kind -> bytes:int -> cookie:int -> [ `Ok | `Full ]
+
+(** [poll t ~max] removes and returns up to [max] completions, oldest
+    first. *)
+val poll : t -> max:int -> completion list
+
+(** Commands submitted but not yet reaped. *)
+val inflight : t -> int
+
+(** Completions waiting to be polled. *)
+val completions_pending : t -> int
+
+(** [set_completion_hook t f] — [f] runs whenever a completion lands in
+    the completion queue.  A polling dataplane thread uses this as its
+    "next poll iteration notices the CQ entry" signal. *)
+val set_completion_hook : t -> (unit -> unit) -> unit

@@ -1,0 +1,8 @@
+(** Simulated NVMe Flash substrate: device profiles, the die-level device
+    model, queue pairs and the calibration procedure of paper §3.2.1. *)
+
+module Io_op = Io_op
+module Device_profile = Device_profile
+module Nvme_model = Nvme_model
+module Queue_pair = Queue_pair
+module Calibrate = Calibrate

@@ -1,0 +1,1 @@
+lib/net/reflex_net.ml: Fabric Stack_model Tcp_conn

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Prng Reflex_engine Resource Sim Stack_model Time

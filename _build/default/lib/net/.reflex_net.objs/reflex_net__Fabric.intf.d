@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Reflex_engine Sim Stack_model Time

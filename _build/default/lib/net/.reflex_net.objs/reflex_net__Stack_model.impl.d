@@ -1,0 +1,1 @@
+lib/net/stack_model.ml: Prng Reflex_engine Time

@@ -1,0 +1,1 @@
+lib/net/stack_model.mli: Prng Reflex_engine Time

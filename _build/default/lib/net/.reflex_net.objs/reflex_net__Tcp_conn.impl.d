@@ -1,0 +1,1 @@
+lib/net/tcp_conn.ml: Fabric Hashtbl Queue Reflex_engine Sim Stack_model

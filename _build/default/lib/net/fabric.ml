@@ -1,0 +1,58 @@
+open Reflex_engine
+
+type host = {
+  name : string;
+  stack : Stack_model.t;
+  tx_link : Resource.t;
+  rx_link : Resource.t;
+  prng : Prng.t;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  ns_per_byte : float;
+  switch_latency : Time.t;
+  nic_latency : Time.t;
+}
+
+let create sim ?(bandwidth_gbps = 10.0) ?(switch_latency = Time.of_float_us 1.2)
+    ?(nic_latency = Time.of_float_us 0.7) () =
+  if bandwidth_gbps <= 0.0 then invalid_arg "Fabric.create: bandwidth";
+  { sim; ns_per_byte = 8.0 /. bandwidth_gbps; switch_latency; nic_latency }
+
+let sim t = t.sim
+
+let add_host t ~name ~stack =
+  {
+    name;
+    stack;
+    tx_link = Resource.create t.sim ~servers:1;
+    rx_link = Resource.create t.sim ~servers:1;
+    prng = Prng.split (Sim.prng t.sim);
+    tx_bytes = 0;
+    rx_bytes = 0;
+  }
+
+let host_name h = h.name
+let host_stack h = h.stack
+
+let serialization_time t ~bytes = Time.of_float_ns (float_of_int bytes *. t.ns_per_byte)
+
+let transmit t ~src ~dst ~bytes k =
+  if bytes <= 0 then invalid_arg "Fabric.transmit: non-positive size";
+  src.tx_bytes <- src.tx_bytes + bytes;
+  let ser = serialization_time t ~bytes in
+  Resource.submit src.tx_link ~service:ser (fun ~started:_ ~finished:_ ->
+      (* NIC -> switch -> NIC propagation. *)
+      let wire = Time.add t.switch_latency (Time.scale t.nic_latency 2.0) in
+      ignore
+        (Sim.after t.sim wire (fun () ->
+             Resource.submit dst.rx_link ~service:ser (fun ~started:_ ~finished:_ ->
+                 dst.rx_bytes <- dst.rx_bytes + bytes;
+                 let stack_delay = Stack_model.rx_delay dst.stack dst.prng in
+                 ignore (Sim.after t.sim stack_delay k)))))
+
+let bytes_sent h = h.tx_bytes
+let bytes_received h = h.rx_bytes

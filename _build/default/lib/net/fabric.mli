@@ -1,0 +1,41 @@
+(** The datacenter network: hosts with NICs on a switched 10GbE fabric.
+
+    Models the paper's testbed (§5.1): Intel 82599ES 10GbE NICs through an
+    Arista switch, jumbo frames, LRO/GRO off, 20us interrupt coalescing on
+    Linux endpoints.  Each host has full-duplex tx/rx links whose
+    serialization enforces the 10GbE bandwidth ceiling — this is what caps
+    4KB IOPS at the NIC before the Flash device saturates (§5.1 "I/O
+    size"). *)
+
+open Reflex_engine
+
+type t
+type host
+
+val create :
+  Sim.t ->
+  ?bandwidth_gbps:float ->
+  ?switch_latency:Time.t ->
+  ?nic_latency:Time.t ->
+  unit ->
+  t
+
+val sim : t -> Sim.t
+
+val add_host : t -> name:string -> stack:Stack_model.t -> host
+val host_name : host -> string
+val host_stack : host -> Stack_model.t
+
+(** [transmit t ~src ~dst ~bytes k] delivers [bytes] from [src] to [dst]:
+    serialization on the source tx link, NIC+switch propagation,
+    serialization on the destination rx link, then the destination stack's
+    receive delay (coalescing, wakeups).  [k] runs at delivery. *)
+val transmit : t -> src:host -> dst:host -> bytes:int -> (unit -> unit) -> unit
+
+(** Cumulative bytes sent by a host (for bandwidth accounting). *)
+val bytes_sent : host -> int
+
+val bytes_received : host -> int
+
+(** Seconds to serialize [bytes] at line rate — the bandwidth ceiling. *)
+val serialization_time : t -> bytes:int -> Time.t

@@ -1,0 +1,6 @@
+(** Simulated 10GbE network substrate: endpoint stack cost models, the
+    switched fabric, and FIFO TCP connections. *)
+
+module Stack_model = Stack_model
+module Fabric = Fabric
+module Tcp_conn = Tcp_conn

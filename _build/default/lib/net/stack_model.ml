@@ -1,0 +1,93 @@
+open Reflex_engine
+
+type t = {
+  name : string;
+  polling : bool;
+  per_msg_cpu : Time.t;
+  tx_overhead : Time.t;
+  rx_overhead : Time.t;
+  coalesce : Time.t;
+  wakeup_mean : Time.t;
+  max_msgs_per_sec : float;
+}
+
+let ix_client =
+  {
+    name = "ix-client";
+    polling = true;
+    per_msg_cpu = Time.ns 1_000;
+    tx_overhead = Time.ns 1_500;
+    rx_overhead = Time.ns 1_500;
+    coalesce = Time.zero;
+    wakeup_mean = Time.zero;
+    max_msgs_per_sec = 1.2e6;
+  }
+
+let linux_client =
+  {
+    name = "linux-client";
+    polling = false;
+    per_msg_cpu = Time.of_float_us 7.0;
+    tx_overhead = Time.of_float_us 4.0;
+    rx_overhead = Time.of_float_us 4.0;
+    coalesce = Time.us 20;
+    wakeup_mean = Time.of_float_us 8.0;
+    max_msgs_per_sec = 70e3;
+  }
+
+let dataplane_server =
+  {
+    name = "reflex-dataplane";
+    polling = true;
+    per_msg_cpu = Time.zero;
+    (* charged by the dataplane thread model *)
+    tx_overhead = Time.ns 500;
+    rx_overhead = Time.ns 500;
+    coalesce = Time.zero;
+    wakeup_mean = Time.zero;
+    max_msgs_per_sec = 0.85e6;
+  }
+
+let linux_server =
+  {
+    name = "linux-libaio-server";
+    polling = false;
+    per_msg_cpu = Time.of_float_us 6.7;
+    (* 13.3us per request over two directions: 75K IOPS/core *)
+    tx_overhead = Time.of_float_us 4.0;
+    rx_overhead = Time.of_float_us 4.0;
+    coalesce = Time.us 20;
+    wakeup_mean = Time.of_float_us 8.0;
+    max_msgs_per_sec = 75e3;
+  }
+
+let iscsi_server =
+  {
+    name = "iscsi-target";
+    polling = false;
+    per_msg_cpu = Time.of_float_us 7.1;
+    (* 14.3us/request: 70K IOPS/core (paper SS2.1) *)
+    tx_overhead = Time.of_float_us 35.0;
+    (* SCSI protocol processing + kernel/user copies each way *)
+    rx_overhead = Time.of_float_us 35.0;
+    coalesce = Time.us 20;
+    wakeup_mean = Time.of_float_us 8.0;
+    max_msgs_per_sec = 70e3;
+  }
+
+let rx_delay t prng =
+  let coalesce =
+    if Time.(t.coalesce > Time.zero) then
+      Time.of_float_ns (Prng.float_range prng 0.0 (Time.to_float_ns t.coalesce))
+    else Time.zero
+  in
+  let wakeup =
+    if Time.(t.wakeup_mean > Time.zero) then
+      Time.of_float_ns (Prng.exponential prng ~mean:(Time.to_float_ns t.wakeup_mean))
+    else Time.zero
+  in
+  Time.add t.rx_overhead (Time.add coalesce wakeup)
+
+let tx_delay t prng =
+  ignore prng;
+  t.tx_overhead

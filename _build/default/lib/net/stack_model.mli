@@ -1,0 +1,54 @@
+(** Software network-stack cost models.
+
+    The paper compares polling dataplane stacks (IX: no interrupts, no
+    copies, run-to-completion) with conventional Linux sockets (interrupt
+    coalescing, scheduler wakeups, per-message syscall costs).  Each
+    endpoint in the simulated fabric carries one of these models; the
+    fabric applies the latency terms, endpoints charge the CPU terms to
+    their own cores. *)
+
+open Reflex_engine
+
+type t = {
+  name : string;
+  polling : bool;  (** dataplane stacks poll; Linux stacks take interrupts *)
+  per_msg_cpu : Time.t;
+      (** CPU occupancy to process one message in one direction; bounds
+          messages/sec per thread. *)
+  tx_overhead : Time.t;  (** fixed added latency on the transmit path *)
+  rx_overhead : Time.t;  (** fixed added latency on the receive path *)
+  coalesce : Time.t;
+      (** NIC interrupt-coalescing window (paper §5.1 configures 20us);
+          received packets wait uniformly in [0, coalesce].  Zero for
+          polling stacks. *)
+  wakeup_mean : Time.t;
+      (** scheduler wakeup cost for a blocked receiver thread,
+          exponentially distributed.  Zero for polling stacks. *)
+  max_msgs_per_sec : float;
+      (** nominal per-thread message ceiling (Linux TCP: ~70K/s at 4KB,
+          paper §4.2). *)
+}
+
+(** IX dataplane used as a client (paper's optimized load generator). *)
+val ix_client : t
+
+(** Conventional Linux sockets client (mutilate and the block driver). *)
+val linux_client : t
+
+(** The ReFlex server endpoint: polling; CPU is charged by the dataplane
+    itself, so [per_msg_cpu] here is zero. *)
+val dataplane_server : t
+
+(** Linux-based remote storage server endpoint (libaio/libevent: 75K
+    IOPS/core, paper §2.1/§5.3). *)
+val linux_server : t
+
+(** iSCSI target endpoint: Linux server plus protocol processing and
+    kernel/user data copies on every message. *)
+val iscsi_server : t
+
+(** Latency drawn for a message arriving at this endpoint. *)
+val rx_delay : t -> Prng.t -> Time.t
+
+(** Latency drawn for a message leaving this endpoint. *)
+val tx_delay : t -> Prng.t -> Time.t

@@ -1,0 +1,79 @@
+open Reflex_engine
+
+(* Per-direction ordering works the way TCP reassembly does: each message
+   carries a sequence number; out-of-order arrivals (receive-side jitter
+   can reorder raw deliveries) are buffered until the gap fills. *)
+
+type 'a endpoint = {
+  mutable handler : ('a -> size:int -> unit) option;
+  pending : ('a * int) Queue.t;
+  mutable send_seq : int;
+  mutable next_deliver : int;
+  out_of_order : (int, 'a * int) Hashtbl.t;
+  mutable delivered : int;
+}
+
+type 'a t = {
+  fabric : Fabric.t;
+  client : Fabric.host;
+  server : Fabric.host;
+  to_server : 'a endpoint;
+  to_client : 'a endpoint;
+}
+
+let make_endpoint () =
+  {
+    handler = None;
+    pending = Queue.create ();
+    send_seq = 0;
+    next_deliver = 0;
+    out_of_order = Hashtbl.create 16;
+    delivered = 0;
+  }
+
+let connect fabric ~client ~server =
+  { fabric; client; server; to_server = make_endpoint (); to_client = make_endpoint () }
+
+let deliver ep msg size =
+  ep.delivered <- ep.delivered + 1;
+  match ep.handler with
+  | Some h -> h msg ~size
+  | None -> Queue.add (msg, size) ep.pending
+
+let set_handler ep h =
+  ep.handler <- Some h;
+  Queue.iter (fun (msg, size) -> h msg ~size) ep.pending;
+  Queue.clear ep.pending
+
+let set_server_handler t h = set_handler t.to_server h
+let set_client_handler t h = set_handler t.to_client h
+
+let arrive ep seq msg size =
+  Hashtbl.replace ep.out_of_order seq (msg, size);
+  let rec drain () =
+    match Hashtbl.find_opt ep.out_of_order ep.next_deliver with
+    | Some (m, s) ->
+      Hashtbl.remove ep.out_of_order ep.next_deliver;
+      ep.next_deliver <- ep.next_deliver + 1;
+      deliver ep m s;
+      drain ()
+    | None -> ()
+  in
+  drain ()
+
+let send t ~src ~dst ~ep ~size msg =
+  let sim = Fabric.sim t.fabric in
+  let seq = ep.send_seq in
+  ep.send_seq <- seq + 1;
+  let tx = Stack_model.tx_delay (Fabric.host_stack src) (Sim.prng sim) in
+  ignore
+    (Sim.after sim tx (fun () ->
+         Fabric.transmit t.fabric ~src ~dst ~bytes:size (fun () -> arrive ep seq msg size)))
+
+let send_to_server t ~size msg = send t ~src:t.client ~dst:t.server ~ep:t.to_server ~size msg
+let send_to_client t ~size msg = send t ~src:t.server ~dst:t.client ~ep:t.to_client ~size msg
+
+let client_host t = t.client
+let server_host t = t.server
+let delivered_to_server t = t.to_server.delivered
+let delivered_to_client t = t.to_client.delivered

@@ -1,0 +1,31 @@
+(** A TCP connection between two hosts on the fabric.
+
+    Carries typed messages (the simulator passes message values and
+    charges the wire for their encoded size).  Guarantees per-direction
+    FIFO delivery — the only ordering the paper's ReFlex provides (§4.1
+    "Limitations").  The sender's transmit-path latency is applied here;
+    the sender's CPU cost is charged by the sending component, since
+    clients and servers model their cores differently. *)
+
+type 'a t
+
+val connect : Fabric.t -> client:Fabric.host -> server:Fabric.host -> 'a t
+
+(** Install the message handler on each side.  Messages delivered before a
+    handler is installed are queued. *)
+val set_server_handler : 'a t -> ('a -> size:int -> unit) -> unit
+
+val set_client_handler : 'a t -> ('a -> size:int -> unit) -> unit
+
+(** [send_to_server conn ~size msg] — [size] is the wire size in bytes. *)
+val send_to_server : 'a t -> size:int -> 'a -> unit
+
+val send_to_client : 'a t -> size:int -> 'a -> unit
+
+val client_host : 'a t -> Fabric.host
+val server_host : 'a t -> Fabric.host
+
+(** Messages delivered so far in each direction. *)
+val delivered_to_server : 'a t -> int
+
+val delivered_to_client : 'a t -> int

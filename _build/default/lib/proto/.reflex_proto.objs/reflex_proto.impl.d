@@ -1,0 +1,1 @@
+lib/proto/reflex_proto.ml: Codec Framer Message

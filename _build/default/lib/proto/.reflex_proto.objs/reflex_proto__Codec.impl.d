@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Bytes Int64 Message Printf

@@ -1,0 +1,1 @@
+lib/proto/framer.ml: Bytes Codec List

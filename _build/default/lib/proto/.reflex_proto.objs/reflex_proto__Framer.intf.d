@@ -1,0 +1,1 @@
+lib/proto/framer.mli: Message

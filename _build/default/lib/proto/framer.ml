@@ -1,0 +1,55 @@
+(* A simple growable ring: bytes are appended at [write_pos] and consumed
+   from [read_pos]; the prefix is compacted when it grows large. *)
+
+type t = { mutable buf : bytes; mutable read_pos : int; mutable write_pos : int }
+
+let create () = { buf = Bytes.create 4096; read_pos = 0; write_pos = 0 }
+
+let buffered t = t.write_pos - t.read_pos
+
+let compact t =
+  if t.read_pos > 0 then begin
+    Bytes.blit t.buf t.read_pos t.buf 0 (buffered t);
+    t.write_pos <- buffered t;
+    t.read_pos <- 0
+  end
+
+let ensure_room t n =
+  if t.write_pos + n > Bytes.length t.buf then begin
+    compact t;
+    if t.write_pos + n > Bytes.length t.buf then begin
+      let ncap = max (t.write_pos + n) (2 * Bytes.length t.buf) in
+      let nbuf = Bytes.create ncap in
+      Bytes.blit t.buf 0 nbuf 0 t.write_pos;
+      t.buf <- nbuf
+    end
+  end
+
+let feed t chunk ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length chunk then
+    invalid_arg "Framer.feed: bad slice";
+  ensure_room t len;
+  Bytes.blit chunk off t.buf t.write_pos len;
+  t.write_pos <- t.write_pos + len
+
+let pop t =
+  if buffered t < Codec.header_size then None
+  else begin
+    (* Peek the header to learn the payload length, then check whether the
+       full message has arrived. *)
+    let total = Codec.peek_total t.buf t.read_pos in
+    if buffered t < total then None
+    else begin
+      let msg, consumed = Codec.decode t.buf t.read_pos in
+      t.read_pos <- t.read_pos + consumed;
+      if t.read_pos = t.write_pos then begin
+        t.read_pos <- 0;
+        t.write_pos <- 0
+      end;
+      Some msg
+    end
+  end
+
+let pop_all t =
+  let rec loop acc = match pop t with Some m -> loop (m :: acc) | None -> List.rev acc in
+  loop []

@@ -1,0 +1,22 @@
+(** Incremental stream decoder.
+
+    TCP delivers a byte stream; the framer accumulates arbitrary chunks
+    and yields complete messages, handling headers and payloads split
+    across segment boundaries. *)
+
+type t
+
+val create : unit -> t
+
+(** Append a chunk of received bytes. *)
+val feed : t -> bytes -> off:int -> len:int -> unit
+
+(** Next complete message, if one is buffered.
+    Raises [Invalid_argument] on a malformed stream (bad magic etc). *)
+val pop : t -> Message.t option
+
+(** Drain all currently complete messages. *)
+val pop_all : t -> Message.t list
+
+(** Bytes buffered but not yet consumed by [pop]. *)
+val buffered : t -> int

@@ -1,0 +1,6 @@
+(** ReFlex wire protocol: message types (paper Table 1), binary codec and
+    incremental stream framing. *)
+
+module Message = Message
+module Codec = Codec
+module Framer = Framer

@@ -1,0 +1,1 @@
+lib/qos/reflex_qos.ml: Cost_model Global_bucket Scheduler Slo Tenant

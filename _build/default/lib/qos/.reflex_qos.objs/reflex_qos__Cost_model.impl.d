@@ -1,0 +1,1 @@
+lib/qos/cost_model.ml: Calibrate Device_profile Format Io_op Reflex_flash

@@ -1,0 +1,1 @@
+lib/qos/cost_model.mli: Format Reflex_flash

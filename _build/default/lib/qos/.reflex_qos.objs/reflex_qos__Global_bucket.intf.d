@@ -1,0 +1,1 @@
+lib/qos/global_bucket.mli:

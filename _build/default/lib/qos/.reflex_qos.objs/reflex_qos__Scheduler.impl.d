@@ -1,0 +1,1 @@
+lib/qos/scheduler.ml: Array Global_bucket Hashtbl List Reflex_engine Tenant Time

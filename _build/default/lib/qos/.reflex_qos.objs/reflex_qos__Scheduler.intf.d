@@ -1,0 +1,1 @@
+lib/qos/scheduler.mli: Global_bucket Reflex_engine Tenant

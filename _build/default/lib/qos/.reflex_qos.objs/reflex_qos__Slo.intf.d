@@ -1,0 +1,1 @@
+lib/qos/slo.mli: Format

@@ -1,0 +1,1 @@
+lib/qos/tenant.ml: Array Option Queue Slo

@@ -1,0 +1,1 @@
+lib/qos/tenant.mli: Slo

@@ -1,0 +1,41 @@
+type t = {
+  mutable level : float;
+  mutable active : int list;
+  marks : (int, unit) Hashtbl.t;
+  mutable resets : int;
+}
+
+let create ~n_threads =
+  if n_threads < 1 then invalid_arg "Global_bucket.create: n_threads < 1";
+  { level = 0.0; active = List.init n_threads Fun.id; marks = Hashtbl.create 8; resets = 0 }
+
+let add t x = if x > 0.0 then t.level <- t.level +. x
+
+let try_take t d =
+  if d <= 0.0 then 0.0
+  else begin
+    let taken = Float.min d t.level in
+    t.level <- t.level -. taken;
+    taken
+  end
+
+let level t = t.level
+
+let mark_round t ~thread_id =
+  if not (List.mem thread_id t.active) then
+    invalid_arg "Global_bucket.mark_round: thread not active";
+  Hashtbl.replace t.marks thread_id ();
+  let all = List.for_all (Hashtbl.mem t.marks) t.active in
+  if all then begin
+    t.level <- 0.0;
+    Hashtbl.reset t.marks;
+    t.resets <- t.resets + 1
+  end;
+  all
+
+let resets t = t.resets
+
+let set_active_threads t ids =
+  if ids = [] then invalid_arg "Global_bucket.set_active_threads: empty";
+  t.active <- List.sort_uniq compare ids;
+  Hashtbl.reset t.marks

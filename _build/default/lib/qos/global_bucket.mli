@@ -1,0 +1,36 @@
+(** The global token bucket shared by all dataplane threads (paper
+    §3.2.2/§4.1).
+
+    LC tenants donate spare tokens here; BE tenants on any thread may
+    claim them.  Threads access it with atomic read-modify-write
+    operations in the paper; in this single-threaded simulation the
+    operations are plain, but the interface preserves the fetch-and-add
+    shape.  The bucket resets once every thread has completed at least one
+    scheduling round since the last reset — the last thread to mark
+    performs the reset — bounding the burst BE tenants can accumulate. *)
+
+type t
+
+val create : n_threads:int -> t
+
+(** Donate tokens (atomic increment). *)
+val add : t -> float -> unit
+
+(** [try_take t d] removes and returns up to [d] tokens (atomic
+    decrement bounded below by zero). *)
+val try_take : t -> float -> float
+
+val level : t -> float
+
+(** Mark that [thread_id] finished a scheduling round.  When all threads
+    have marked since the last reset, the bucket is zeroed.  Returns [true]
+    when this call performed the reset. *)
+val mark_round : t -> thread_id:int -> bool
+
+(** Total resets so far (observability). *)
+val resets : t -> int
+
+(** Replace the set of thread ids whose marks gate the periodic reset —
+    used when the control plane grows or shrinks the dataplane (paper
+    §4.3).  Pending marks from removed threads are discarded. *)
+val set_active_threads : t -> int list -> unit

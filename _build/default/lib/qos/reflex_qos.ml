@@ -1,0 +1,8 @@
+(** The paper's QoS machinery: SLOs, the request cost model, per-tenant
+    token state, the shared global bucket, and the Algorithm-1 scheduler. *)
+
+module Slo = Slo
+module Cost_model = Cost_model
+module Global_bucket = Global_bucket
+module Tenant = Tenant
+module Scheduler = Scheduler

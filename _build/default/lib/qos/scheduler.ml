@@ -1,0 +1,141 @@
+open Reflex_engine
+
+type 'a submission = { tenant_id : int; cost : float; payload : 'a }
+
+type 'a t = {
+  neg_limit : float;
+  donate_fraction : float;
+  global : Global_bucket.t;
+  thread_id : int;
+  notify_control_plane : int -> unit;
+  mutable lc : 'a Tenant.t list;
+  mutable be : 'a Tenant.t array;
+  by_id : (int, 'a Tenant.t) Hashtbl.t; (* O(1) lookup on the request path *)
+  mutable be_cursor : int; (* round-robin start for fairness *)
+  mutable prev_sched_time : Time.t option;
+  mutable lc_generated : float;
+}
+
+let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
+    ?(notify_control_plane = fun _ -> ()) () =
+  if neg_limit > 0.0 then invalid_arg "Scheduler.create: neg_limit must be <= 0";
+  if donate_fraction < 0.0 || donate_fraction > 1.0 then
+    invalid_arg "Scheduler.create: donate_fraction in [0,1]";
+  {
+    neg_limit;
+    donate_fraction;
+    global;
+    thread_id;
+    notify_control_plane;
+    lc = [];
+    be = [||];
+    by_id = Hashtbl.create 64;
+    be_cursor = 0;
+    prev_sched_time = None;
+    lc_generated = 0.0;
+  }
+
+let add_tenant t tenant =
+  if Hashtbl.mem t.by_id (Tenant.id tenant) then
+    invalid_arg "Scheduler.add_tenant: duplicate tenant id";
+  Hashtbl.replace t.by_id (Tenant.id tenant) tenant;
+  if Tenant.is_latency_critical tenant then t.lc <- t.lc @ [ tenant ]
+  else t.be <- Array.append t.be [| tenant |]
+
+let remove_tenant t tenant_id =
+  if Hashtbl.mem t.by_id tenant_id then begin
+    Hashtbl.remove t.by_id tenant_id;
+    t.lc <- List.filter (fun x -> Tenant.id x <> tenant_id) t.lc;
+    t.be <- Array.of_list (List.filter (fun x -> Tenant.id x <> tenant_id) (Array.to_list t.be));
+    if Array.length t.be > 0 then t.be_cursor <- t.be_cursor mod Array.length t.be
+    else t.be_cursor <- 0
+  end
+
+let tenants t = t.lc @ Array.to_list t.be
+let find_tenant t tenant_id = Hashtbl.find_opt t.by_id tenant_id
+let tenant_count t = Hashtbl.length t.by_id
+
+let enqueue t ~tenant_id ~cost req =
+  match find_tenant t tenant_id with
+  | Some tenant -> Tenant.enqueue tenant ~cost req
+  | None -> raise Not_found
+
+let backlog t = List.fold_left (fun acc x -> acc +. Tenant.demand x) 0.0 (tenants t)
+let lc_tokens_generated t = t.lc_generated
+
+(* Submit requests off [tenant]'s queue while there is demand and the
+   balance stays above [floor]; returns the count submitted. *)
+let submit_while tenant ~floor ~submit =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if Tenant.demand tenant > 0.0 && Tenant.tokens tenant > floor then begin
+      match Tenant.dequeue tenant with
+      | Some (cost, payload) ->
+        Tenant.spend_tokens tenant cost;
+        Tenant.note_submitted tenant cost;
+        submit { tenant_id = Tenant.id tenant; cost; payload };
+        incr n
+      | None -> continue := false
+    end
+    else continue := false
+  done;
+  !n
+
+(* BE variant: a request is submitted only if the tenant can fully pay. *)
+let submit_admissible tenant ~submit =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Tenant.peek_cost tenant with
+    | Some cost when cost <= Tenant.tokens tenant ->
+      (match Tenant.dequeue tenant with
+      | Some (cost, payload) ->
+        Tenant.spend_tokens tenant cost;
+        Tenant.note_submitted tenant cost;
+        submit { tenant_id = Tenant.id tenant; cost; payload };
+        incr n
+      | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !n
+
+let schedule t ~now ~submit =
+  let time_delta =
+    match t.prev_sched_time with
+    | None -> 0.0
+    | Some prev -> Time.to_float_sec (Time.diff now prev)
+  in
+  t.prev_sched_time <- Some now;
+  let submitted = ref 0 in
+  (* Latency-critical tenants first (Algorithm 1, lines 4-12). *)
+  List.iter
+    (fun tenant ->
+      let grant = Tenant.token_rate tenant *. time_delta in
+      Tenant.add_tokens tenant grant;
+      Tenant.record_grant tenant grant;
+      t.lc_generated <- t.lc_generated +. grant;
+      if Tenant.tokens tenant < t.neg_limit then t.notify_control_plane (Tenant.id tenant);
+      submitted := !submitted + submit_while tenant ~floor:t.neg_limit ~submit;
+      let pos_limit = Tenant.pos_limit tenant in
+      if Tenant.tokens tenant > pos_limit then begin
+        let donation = Tenant.tokens tenant *. t.donate_fraction in
+        Global_bucket.add t.global donation;
+        Tenant.spend_tokens tenant donation
+      end)
+    t.lc;
+  (* Best-effort tenants in round-robin order (lines 13-21). *)
+  let n_be = Array.length t.be in
+  for k = 0 to n_be - 1 do
+    let tenant = t.be.((t.be_cursor + k) mod n_be) in
+    Tenant.add_tokens tenant (Tenant.token_rate tenant *. time_delta);
+    let deficit = Tenant.demand tenant -. Tenant.tokens tenant in
+    if deficit > 0.0 then Tenant.add_tokens tenant (Global_bucket.try_take t.global deficit);
+    submitted := !submitted + submit_admissible tenant ~submit;
+    (* DRR-inspired: no token hoarding while idle. *)
+    if Tenant.tokens tenant > 0.0 && Tenant.demand tenant = 0.0 then
+      Global_bucket.add t.global (Tenant.drain_tokens tenant)
+  done;
+  if n_be > 0 then t.be_cursor <- (t.be_cursor + 1) mod n_be;
+  ignore (Global_bucket.mark_round t.global ~thread_id:t.thread_id);
+  !submitted

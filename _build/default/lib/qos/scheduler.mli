@@ -1,0 +1,53 @@
+(** The QoS scheduling algorithm — a faithful port of the paper's
+    Algorithm 1.
+
+    Each dataplane thread owns one scheduler instance over its tenants.
+    Per round: LC tenants receive tokens from their SLO rate and submit
+    queued requests, allowed to burst into deficit down to NEG_LIMIT
+    (default -50 tokens); balances above POS_LIMIT (the grant of the last
+    three rounds) donate 90% to the shared {!Global_bucket}.  BE tenants
+    then receive a fair share of unallocated throughput in round-robin
+    order, may claim from the global bucket, submit only requests they can
+    fully pay for, and may not hold tokens while idle (Deficit Round Robin
+    inspired).  Finally the thread marks its round on the global bucket,
+    whose periodic reset bounds BE bursts. *)
+
+type 'a t
+
+(** A request released by the scheduler for submission to the device. *)
+type 'a submission = { tenant_id : int; cost : float; payload : 'a }
+
+val create :
+  ?neg_limit:float ->
+  (* default -50 tokens *)
+  ?donate_fraction:float ->
+  (* default 0.9 *)
+  global:Global_bucket.t ->
+  thread_id:int ->
+  ?notify_control_plane:(int -> unit) ->
+  unit ->
+  'a t
+
+val add_tenant : 'a t -> 'a Tenant.t -> unit
+
+(** Remove by id; queued requests are dropped. *)
+val remove_tenant : 'a t -> int -> unit
+
+val find_tenant : 'a t -> int -> 'a Tenant.t option
+val tenants : 'a t -> 'a Tenant.t list
+val tenant_count : 'a t -> int
+
+(** [enqueue t ~tenant_id ~cost req] places a request on the tenant's
+    software queue.  Raises [Not_found] for an unknown tenant. *)
+val enqueue : 'a t -> tenant_id:int -> cost:float -> 'a -> unit
+
+(** Run one scheduling round at [now]; [submit] is called, in order, for
+    every request released to the NVMe queue.  Returns the number of
+    submissions. *)
+val schedule : 'a t -> now:Reflex_engine.Time.t -> submit:('a submission -> unit) -> int
+
+(** Total demand (tokens) sitting in this thread's tenant queues. *)
+val backlog : 'a t -> float
+
+(** Tokens generated for LC tenants since creation (observability). *)
+val lc_tokens_generated : 'a t -> float

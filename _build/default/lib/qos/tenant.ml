@@ -1,0 +1,70 @@
+type 'a t = {
+  id : int;
+  slo : Slo.t;
+  mutable token_rate : float;
+  mutable tokens : float;
+  queue : (float * 'a) Queue.t;
+  mutable demand : float;
+  grants : float array; (* last three rounds, ring buffer *)
+  mutable grant_pos : int;
+  mutable submitted_cost : float;
+}
+
+let create ~id ~slo ~token_rate =
+  if token_rate < 0.0 then invalid_arg "Tenant.create: negative token rate";
+  {
+    id;
+    slo;
+    token_rate;
+    tokens = 0.0;
+    queue = Queue.create ();
+    demand = 0.0;
+    grants = Array.make 3 0.0;
+    grant_pos = 0;
+    submitted_cost = 0.0;
+  }
+
+let id t = t.id
+let slo t = t.slo
+let is_latency_critical t = Slo.is_latency_critical t.slo
+let token_rate t = t.token_rate
+
+let set_token_rate t r =
+  if r < 0.0 then invalid_arg "Tenant.set_token_rate: negative rate";
+  t.token_rate <- r
+
+let tokens t = t.tokens
+let add_tokens t x = t.tokens <- t.tokens +. x
+let spend_tokens t x = t.tokens <- t.tokens -. x
+
+let drain_tokens t =
+  let x = t.tokens in
+  t.tokens <- 0.0;
+  x
+
+let enqueue t ~cost req =
+  if cost <= 0.0 then invalid_arg "Tenant.enqueue: non-positive cost";
+  Queue.add (cost, req) t.queue;
+  t.demand <- t.demand +. cost
+
+let demand t = t.demand
+let queue_length t = Queue.length t.queue
+let peek_cost t = Option.map fst (Queue.peek_opt t.queue)
+
+let dequeue t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some (cost, req) ->
+    t.demand <- t.demand -. cost;
+    (* Guard against float drift on long runs. *)
+    if t.demand < 0.0 then t.demand <- 0.0;
+    Some (cost, req)
+
+let record_grant t x =
+  t.grants.(t.grant_pos) <- x;
+  t.grant_pos <- (t.grant_pos + 1) mod 3
+
+let pos_limit t = t.grants.(0) +. t.grants.(1) +. t.grants.(2)
+
+let submitted_cost_total t = t.submitted_cost
+let note_submitted t c = t.submitted_cost <- t.submitted_cost +. c

@@ -1,0 +1,58 @@
+(** Per-tenant scheduling state: the software request queue, the token
+    balance, and the recent-grant history used for POS_LIMIT (paper
+    §3.2.2). *)
+
+type 'a t
+
+(** [create ~id ~slo ~token_rate] — [token_rate] is tokens/sec granted by
+    the control plane (an LC tenant's weighted SLO rate, or a BE tenant's
+    fair share of unallocated throughput). *)
+val create : id:int -> slo:Slo.t -> token_rate:float -> 'a t
+
+val id : 'a t -> int
+val slo : 'a t -> Slo.t
+val is_latency_critical : 'a t -> bool
+
+val token_rate : 'a t -> float
+val set_token_rate : 'a t -> float -> unit
+
+(** Current token balance (may be negative down to the scheduler's
+    NEG_LIMIT). *)
+val tokens : 'a t -> float
+
+val add_tokens : 'a t -> float -> unit
+val spend_tokens : 'a t -> float -> unit
+
+(** Zero the balance, returning what was there (BE idle-flush). *)
+val drain_tokens : 'a t -> float
+
+(** {1 Request queue} *)
+
+(** [enqueue t ~cost req] appends a request whose submission will cost
+    [cost] tokens. *)
+val enqueue : 'a t -> cost:float -> 'a -> unit
+
+(** Sum of the costs of all queued requests — the tenant's demand. *)
+val demand : 'a t -> float
+
+val queue_length : 'a t -> int
+
+(** Cost of the request at the head of the queue, if any. *)
+val peek_cost : 'a t -> float option
+
+(** Remove and return the head request with its cost. *)
+val dequeue : 'a t -> (float * 'a) option
+
+(** {1 Grant history (POS_LIMIT)} *)
+
+(** Record tokens granted this round; keeps the last three rounds. *)
+val record_grant : 'a t -> float -> unit
+
+(** POS_LIMIT: the tokens received over the last three scheduling rounds
+    (paper: accommodates short bursts without going into deficit). *)
+val pos_limit : 'a t -> float
+
+(** {1 Accounting} *)
+
+val submitted_cost_total : 'a t -> float
+val note_submitted : 'a t -> float -> unit

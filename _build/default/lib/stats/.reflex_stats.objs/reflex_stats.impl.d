@@ -1,0 +1,1 @@
+lib/stats/reflex_stats.ml: Hdr_histogram Linear_fit Meter Reservoir Summary Table

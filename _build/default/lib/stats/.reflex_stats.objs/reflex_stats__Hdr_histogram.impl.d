@@ -1,0 +1,1 @@
+lib/stats/hdr_histogram.ml: Array Int64

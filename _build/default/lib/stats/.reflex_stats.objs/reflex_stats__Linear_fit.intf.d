@@ -1,0 +1,1 @@
+lib/stats/linear_fit.mli:

@@ -1,0 +1,1 @@
+lib/stats/meter.ml: Reflex_engine Sim Time

@@ -1,0 +1,1 @@
+lib/stats/reservoir.ml: Array Prng Reflex_engine

@@ -1,0 +1,102 @@
+(* Buckets: values < 2^sub_bits land in a linear region with exact
+   resolution; above that, each power-of-two range is split into
+   2^sub_bits sub-buckets, giving bounded relative error. *)
+
+let sub_bits = 6
+let sub_count = 1 lsl sub_bits (* 64 *)
+let max_exponent = 62
+
+type t = {
+  counts : int array; (* (exponent - sub_bits + 1) * sub_count cells *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : int64;
+  mutable max_v : int64;
+}
+
+let n_cells = (max_exponent - sub_bits + 1) * sub_count
+
+let create () =
+  { counts = Array.make n_cells 0; total = 0; sum = 0.0; min_v = Int64.max_int; max_v = 0L }
+
+(* Index of the bucket containing [v]. *)
+let index_of v =
+  if Int64.compare v (Int64.of_int sub_count) < 0 then Int64.to_int v
+  else begin
+    (* exponent = position of the highest set bit *)
+    let rec msb acc x = if Int64.compare x 1L <= 0 then acc else msb (acc + 1) (Int64.shift_right_logical x 1) in
+    let e = msb 0 v in
+    let shift = e - sub_bits in
+    let sub = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) (Int64.of_int (sub_count - 1))) in
+    (((e - sub_bits) + 1) * sub_count) + sub
+  end
+
+(* Upper edge (inclusive) of bucket [i]: the value reported for percentiles. *)
+let value_of i =
+  if i < sub_count then Int64.of_int i
+  else begin
+    let range = (i / sub_count) - 1 in
+    let sub = i mod sub_count in
+    let e = range + sub_bits in
+    let base = Int64.shift_left 1L e in
+    let step = Int64.shift_left 1L (e - sub_bits) in
+    (* upper edge of sub-bucket: base + (sub+1)*step - 1 *)
+    Int64.sub (Int64.add base (Int64.mul (Int64.of_int (sub + 1)) step)) 1L
+  end
+
+let record_n t v n =
+  if Int64.compare v 0L < 0 then invalid_arg "Hdr_histogram.record: negative";
+  if n < 0 then invalid_arg "Hdr_histogram.record_n: negative count";
+  if n > 0 then begin
+    let i = index_of v in
+    t.counts.(i) <- t.counts.(i) + n;
+    t.total <- t.total + n;
+    t.sum <- t.sum +. (Int64.to_float v *. float_of_int n);
+    if Int64.compare v t.min_v < 0 then t.min_v <- v;
+    if Int64.compare v t.max_v > 0 then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+let count t = t.total
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Hdr_histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Hdr_histogram.percentile: out of range";
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+  let rank = if rank < 1 then 1 else rank in
+  let acc = ref 0 in
+  let result = ref t.max_v in
+  (try
+     for i = 0 to n_cells - 1 do
+       acc := !acc + t.counts.(i);
+       if !acc >= rank then begin
+         result := value_of i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (* Never report beyond the actual max. *)
+  if Int64.compare !result t.max_v > 0 then t.max_v else !result
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let min_value t = if t.total = 0 then 0L else t.min_v
+let max_value t = t.max_v
+
+let merge ~dst ~src =
+  for i = 0 to n_cells - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if Int64.compare src.min_v dst.min_v < 0 then dst.min_v <- src.min_v;
+  if Int64.compare src.max_v dst.max_v > 0 then dst.max_v <- src.max_v
+
+let reset t =
+  Array.fill t.counts 0 n_cells 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.min_v <- Int64.max_int;
+  t.max_v <- 0L
+
+let percentile_us t p = Int64.to_float (percentile t p) /. 1e3
+let mean_us t = mean t /. 1e3

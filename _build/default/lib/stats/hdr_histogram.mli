@@ -1,0 +1,37 @@
+(** Log-bucketed latency histogram (HDR-histogram style).
+
+    Records non-negative int64 values (nanoseconds in this repository) with
+    a bounded relative error (~1.5% with the default 6 sub-bucket bits) and
+    O(1) recording, so millions of request latencies can be captured with a
+    few KB of memory.  Percentile queries return the upper edge of the
+    bucket containing the requested rank. *)
+
+type t
+
+(** [create ()] covers values in [0, 2^62). *)
+val create : unit -> t
+
+val record : t -> int64 -> unit
+
+(** [record_n t v n] records [v] with multiplicity [n]. *)
+val record_n : t -> int64 -> int -> unit
+
+val count : t -> int
+
+(** [percentile t p] with [p] in [0, 100].  Raises [Invalid_argument] when
+    empty or [p] out of range. *)
+val percentile : t -> float -> int64
+
+val mean : t -> float
+val min_value : t -> int64
+val max_value : t -> int64
+
+(** Merge [src] into [dst]. *)
+val merge : dst:t -> src:t -> unit
+
+val reset : t -> unit
+
+(** Convenience accessors in microseconds (latencies are stored in ns). *)
+val percentile_us : t -> float -> float
+
+val mean_us : t -> float

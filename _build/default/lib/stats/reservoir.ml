@@ -1,0 +1,61 @@
+open Reflex_engine
+
+type t = {
+  prng : Prng.t;
+  capacity : int;
+  mutable data : float array;
+  mutable size : int;
+  mutable seen : int;
+  mutable sum : float;
+  mutable sorted : bool;
+}
+
+let create ?(capacity = 100_000) prng =
+  { prng; capacity; data = Array.make 256 0.0; size = 0; seen = 0; sum = 0.0; sorted = true }
+
+let add t v =
+  t.seen <- t.seen + 1;
+  t.sum <- t.sum +. v;
+  if t.size < t.capacity then begin
+    if t.size = Array.length t.data then begin
+      let ncap = min t.capacity (Array.length t.data * 2) in
+      let narr = Array.make ncap 0.0 in
+      Array.blit t.data 0 narr 0 t.size;
+      t.data <- narr
+    end;
+    t.data.(t.size) <- v;
+    t.size <- t.size + 1;
+    t.sorted <- false
+  end
+  else begin
+    let j = Prng.int t.prng t.seen in
+    if j < t.capacity then begin
+      t.data.(j) <- v;
+      t.sorted <- false
+    end
+  end
+
+let count t = t.seen
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.size in
+    Array.sort compare sub;
+    Array.blit sub 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then invalid_arg "Reservoir.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Reservoir.percentile: out of range";
+  ensure_sorted t;
+  let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. float_of_int lo in
+  (t.data.(lo) *. (1.0 -. frac)) +. (t.data.(hi) *. frac)
+
+let mean t = if t.seen = 0 then 0.0 else t.sum /. float_of_int t.seen
+
+let values t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.size

@@ -1,0 +1,19 @@
+(** Exact-percentile sample store with reservoir sampling overflow.
+
+    Stores up to [capacity] values exactly; beyond that, Vitter's
+    Algorithm R keeps a uniform sample.  Used in tests as ground truth for
+    {!Hdr_histogram} and wherever exact small-sample percentiles are
+    needed (e.g. unloaded-latency probes). *)
+
+type t
+
+val create : ?capacity:int -> Reflex_engine.Prng.t -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** Exact (or sampled, past capacity) percentile via linear interpolation.
+    Raises [Invalid_argument] when empty. *)
+val percentile : t -> float -> float
+
+val mean : t -> float
+val values : t -> float array

@@ -1,0 +1,14 @@
+(** Streaming mean/variance/min/max accumulator (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

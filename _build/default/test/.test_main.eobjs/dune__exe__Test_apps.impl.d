@@ -1,0 +1,1 @@
+test/test_apps.ml: Access_path Alcotest Fio Flashx Io_op List Option Printf Reflex_apps Reflex_baselines Reflex_core Reflex_engine Reflex_flash Reflex_net Rocksdb Sim Time Workload

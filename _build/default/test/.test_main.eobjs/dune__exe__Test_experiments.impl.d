@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Fig5 Fig6 List Printf Reflex_experiments String Table2

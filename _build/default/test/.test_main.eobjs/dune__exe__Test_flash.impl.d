@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Calibrate Device_profile Io_op List Nvme_model Printf Prng Queue_pair Reflex_engine Reflex_flash Reflex_stats Reservoir Sim Time

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_apps Test_core Test_engine Test_experiments Test_flash Test_net Test_proto Test_qos Test_stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Fabric List Printf Prng Reflex_engine Reflex_net Sim Stack_model Tcp_conn Time

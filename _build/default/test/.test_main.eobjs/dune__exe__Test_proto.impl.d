@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Codec Format Framer Gen Int64 List Message QCheck QCheck_alcotest Reflex_proto

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Gen Hdr_histogram Int64 Linear_fit List Meter Printf Prng QCheck QCheck_alcotest Reflex_engine Reflex_stats Reservoir Sim String Summary Table Time

@@ -1,0 +1,359 @@
+(* Unit and property tests for the DES kernel. *)
+
+open Reflex_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_constructors () =
+  Alcotest.(check int64) "us" 1_000L (Time.us 1);
+  Alcotest.(check int64) "ms" 1_000_000L (Time.ms 1);
+  Alcotest.(check int64) "sec" 1_000_000_000L (Time.sec 1);
+  Alcotest.(check int64) "of_float_us rounds" 1_500L (Time.of_float_us 1.5);
+  check_float "to_float_us" 2.5 (Time.to_float_us 2_500L)
+
+let test_time_arith () =
+  Alcotest.(check int64) "add" 30L (Time.add 10L 20L);
+  Alcotest.(check int64) "sub" 10L (Time.sub 30L 20L);
+  Alcotest.(check int64) "scale" 15L (Time.scale 10L 1.5);
+  Alcotest.(check bool) "lt" true Time.(5L < 6L);
+  Alcotest.(check bool) "ge" true Time.(6L >= 6L);
+  Alcotest.(check int64) "max" 6L (Time.max 5L 6L);
+  Alcotest.(check int64) "min" 5L (Time.min 5L 6L)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.ns 500));
+  Alcotest.(check string) "us" "12.00us" (Time.to_string (Time.us 12));
+  Alcotest.(check string) "ms" "3.00ms" (Time.to_string (Time.ms 3))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 42L in
+  let c = Prng.split a in
+  let x = Prng.bits64 a and y = Prng.bits64 c in
+  Alcotest.(check bool) "split streams differ" true (not (Int64.equal x y))
+
+let test_prng_float_range () =
+  let p = Prng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Prng.float p in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_exponential_mean () =
+  let p = Prng.create 11L in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential p ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f close to 50" mean)
+    true
+    (abs_float (mean -. 50.0) < 1.0)
+
+let test_prng_normal_moments () =
+  let p = Prng.create 13L in
+  let n = 200_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.normal p ~mean:10.0 ~stddev:3.0 in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~10" true (abs_float (mean -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev ~3" true (abs_float (sqrt var -. 3.0) < 0.1)
+
+let test_prng_zipf_skew () =
+  let p = Prng.create 17L in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let i = Prng.zipf p ~n:100 ~theta:0.99 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 10 > rank 90" true (counts.(10) > counts.(90))
+
+let test_prng_bool_bias () =
+  let p = Prng.create 19L in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Prng.bool p 0.25 then incr hits
+  done;
+  let frac = float_of_int !hits /. 100_000.0 in
+  Alcotest.(check bool) "p=0.25 respected" true (abs_float (frac -. 0.25) < 0.01)
+
+let prop_prng_int_bounds =
+  QCheck.Test.make ~name:"Prng.int in [0,n)" ~count:1000
+    QCheck.(pair int64 (int_range 1 10_000))
+    (fun (seed, n) ->
+      let p = Prng.create seed in
+      let x = Prng.int p n in
+      x >= 0 && x < n)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:30L ~seq:0 "c";
+  Heap.push h ~time:10L ~seq:1 "a";
+  Heap.push h ~time:20L ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5L ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, v) -> Alcotest.(check int) "FIFO at equal time" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (int_range 0 1_000_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i x -> Heap.push h ~time:(Int64.of_int x) ~seq:i ()) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, _, ()) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let sorted = List.sort Int64.compare (List.map Int64.of_int times) in
+      popped = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim (Time.us 30) (fun () -> log := 3 :: !log));
+  ignore (Sim.at sim (Time.us 10) (fun () -> log := 1 :: !log));
+  ignore (Sim.at sim (Time.us 20) (fun () -> log := 2 :: !log));
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "events in time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int64) "clock at last event" (Time.us 30) (Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.at sim (Time.us 10) (fun () -> fired := true) in
+  Sim.cancel sim ev;
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.at sim (Time.us i) (fun () -> incr count))
+  done;
+  ignore (Sim.run ~until:(Time.us 5) sim);
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check int) "pending remain" 5 (Sim.pending sim);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "rest run" 10 !count
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.at sim (Time.us 10) (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.after sim (Time.us 5) (fun () -> log := "inner" :: !log))));
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int64) "clock" (Time.us 15) (Sim.now sim)
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim (Time.us 10) (fun () -> ()));
+  ignore (Sim.run sim);
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Sim.at: scheduling in the past (5.00us < 10.00us)") (fun () ->
+      ignore (Sim.at sim (Time.us 5) (fun () -> ())))
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  Sim.every sim ~every:(Time.us 10) ~until:(Time.us 45) (fun t -> ticks := t :: !ticks);
+  ignore (Sim.run sim);
+  Alcotest.(check (list int64))
+    "periodic ticks"
+    [ Time.us 10; Time.us 20; Time.us 30; Time.us 40 ]
+    (List.rev !ticks)
+
+let test_sim_run_advances_clock_to_until () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim (Time.us 1) (fun () -> ()));
+  ignore (Sim.run ~until:(Time.ms 1) sim);
+  Alcotest.(check int64) "clock hits until" (Time.ms 1) (Sim.now sim)
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_single_server_fifo () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:1 in
+  let finishes = ref [] in
+  for i = 1 to 3 do
+    Resource.submit r ~service:(Time.us 10) (fun ~started:_ ~finished ->
+        finishes := (i, finished) :: !finishes)
+  done;
+  ignore (Sim.run sim);
+  let expected = [ (1, Time.us 10); (2, Time.us 20); (3, Time.us 30) ] in
+  Alcotest.(check (list (pair int int64))) "sequential service" expected (List.rev !finishes)
+
+let test_resource_parallel_servers () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:2 in
+  let finishes = ref [] in
+  for i = 1 to 4 do
+    Resource.submit r ~service:(Time.us 10) (fun ~started:_ ~finished ->
+        finishes := (i, finished) :: !finishes)
+  done;
+  ignore (Sim.run sim);
+  let expected =
+    [ (1, Time.us 10); (2, Time.us 10); (3, Time.us 20); (4, Time.us 20) ]
+  in
+  Alcotest.(check (list (pair int int64))) "two at a time" expected (List.rev !finishes)
+
+let test_resource_priority () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:1 in
+  let order = ref [] in
+  (* Occupy the server, then enqueue low before high: high must win. *)
+  Resource.submit r ~service:(Time.us 10) (fun ~started:_ ~finished:_ ->
+      order := "first" :: !order);
+  Resource.submit r ~priority:Resource.Low ~service:(Time.us 10)
+    (fun ~started:_ ~finished:_ -> order := "low" :: !order);
+  Resource.submit r ~priority:Resource.High ~service:(Time.us 10)
+    (fun ~started:_ ~finished:_ -> order := "high" :: !order);
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "high preempts queue" [ "first"; "high"; "low" ]
+    (List.rev !order)
+
+let test_resource_nonpreemptive () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:1 in
+  let high_started = ref Time.zero in
+  Resource.submit r ~priority:Resource.Low ~service:(Time.ms 5)
+    (fun ~started:_ ~finished:_ -> ());
+  ignore
+    (Sim.at sim (Time.us 1) (fun () ->
+         Resource.submit r ~priority:Resource.High ~service:(Time.us 1)
+           (fun ~started ~finished:_ -> high_started := started)));
+  ignore (Sim.run sim);
+  Alcotest.(check int64) "high waits behind in-service low" (Time.ms 5) !high_started
+
+let test_resource_utilization () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:1 in
+  Resource.submit r ~service:(Time.us 50) (fun ~started:_ ~finished:_ -> ());
+  ignore (Sim.run ~until:(Time.us 100) sim);
+  Alcotest.(check bool) "50% busy" true (abs_float (Resource.utilization r -. 0.5) < 1e-6);
+  Alcotest.(check int) "completed" 1 (Resource.completed r)
+
+let test_resource_queue_depth_visibility () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~servers:1 in
+  Resource.submit r ~service:(Time.us 10) (fun ~started:_ ~finished:_ -> ());
+  Resource.submit r ~service:(Time.us 10) (fun ~started:_ ~finished:_ -> ());
+  Resource.submit r ~priority:Resource.Low ~service:(Time.us 10)
+    (fun ~started:_ ~finished:_ -> ());
+  Alcotest.(check int) "one busy" 1 (Resource.busy r);
+  Alcotest.(check (pair int int)) "queues" (1, 1) (Resource.queued r);
+  ignore (Sim.run sim)
+
+let prop_resource_conserves_jobs =
+  QCheck.Test.make ~name:"resource completes every submitted job" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 1 50) (int_range 1 1000)))
+    (fun (servers, services) ->
+      let sim = Sim.create () in
+      let r = Resource.create sim ~servers in
+      let done_ = ref 0 in
+      List.iter
+        (fun s ->
+          Resource.submit r ~service:(Time.ns s) (fun ~started:_ ~finished:_ -> incr done_))
+        services;
+      ignore (Sim.run sim);
+      !done_ = List.length services && Resource.completed r = List.length services)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "time",
+      [
+        Alcotest.test_case "constructors" `Quick test_time_constructors;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "pretty-print" `Quick test_time_pp;
+      ] );
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        Alcotest.test_case "float in range" `Quick test_prng_float_range;
+        Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+        Alcotest.test_case "normal moments" `Quick test_prng_normal_moments;
+        Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+        Alcotest.test_case "bernoulli bias" `Quick test_prng_bool_bias;
+        qcheck prop_prng_int_bounds;
+      ] );
+    ( "heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+        qcheck prop_heap_sorts;
+      ] );
+    ( "sim",
+      [
+        Alcotest.test_case "event ordering" `Quick test_sim_ordering;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "run until" `Quick test_sim_until;
+        Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+        Alcotest.test_case "past scheduling raises" `Quick test_sim_past_raises;
+        Alcotest.test_case "periodic every" `Quick test_sim_every;
+        Alcotest.test_case "clock advances to until" `Quick test_sim_run_advances_clock_to_until;
+      ] );
+    ( "resource",
+      [
+        Alcotest.test_case "single-server FIFO" `Quick test_resource_single_server_fifo;
+        Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+        Alcotest.test_case "priority dispatch" `Quick test_resource_priority;
+        Alcotest.test_case "non-preemptive" `Quick test_resource_nonpreemptive;
+        Alcotest.test_case "utilization accounting" `Quick test_resource_utilization;
+        Alcotest.test_case "queue visibility" `Quick test_resource_queue_depth_visibility;
+        qcheck prop_resource_conserves_jobs;
+      ] );
+  ]

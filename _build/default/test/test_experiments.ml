@@ -1,0 +1,127 @@
+(* Regression tests over the experiment harness itself: run the cheap
+   experiments end-to-end and assert the paper's qualitative claims hold
+   (so a refactor that silently breaks a reproduction fails the suite). *)
+
+open Reflex_experiments
+
+let find_row rows pred = match List.find_opt pred rows with
+  | Some r -> r
+  | None -> Alcotest.fail "expected row missing"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_table2_ordering () =
+  let rows = Table2.run () in
+  Alcotest.(check int) "six access paths" 6 (List.length rows);
+  let read_of name = (find_row rows (fun r -> r.Table2.path = name)).Table2.read_avg_us in
+  let local = read_of "Local (SPDK)" in
+  let reflex_ix = read_of "ReFlex (IX)" in
+  let reflex_linux = read_of "ReFlex (Linux)" in
+  let libaio_ix = read_of "Libaio (IX)" in
+  let iscsi = read_of "iSCSI" in
+  (* Paper Table 2's ordering: local < ReFlex(IX) < ReFlex(Linux) ~
+     Libaio(IX) < ... < iSCSI. *)
+  Alcotest.(check bool) "local fastest" true (local < reflex_ix);
+  Alcotest.(check bool) "reflex beats libaio" true (reflex_ix < libaio_ix);
+  Alcotest.(check bool) "linux client slower than ix" true (reflex_ix < reflex_linux);
+  Alcotest.(check bool) "iscsi slowest" true
+    (iscsi > reflex_linux && iscsi > libaio_ix);
+  (* The +21us headline: ReFlex(IX) adds 15-30us over local. *)
+  let overhead = reflex_ix -. local in
+  Alcotest.(check bool) (Printf.sprintf "ReFlex overhead %.0fus in [12,32]" overhead) true
+    (overhead > 12.0 && overhead < 32.0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_claims () =
+  let rows = Fig5.run () in
+  let get ~scenario ~sched ~tenant_prefix =
+    find_row rows (fun r ->
+        r.Fig5.scenario = scenario && r.Fig5.sched = sched
+        && String.length r.Fig5.tenant > 0
+        && String.sub r.Fig5.tenant 0 1 = tenant_prefix)
+  in
+  (* Scenario 1, scheduler on: both LC tenants meet the 500us SLO at
+     their reserved IOPS. *)
+  let a_on = get ~scenario:1 ~sched:true ~tenant_prefix:"A" in
+  let b_on = get ~scenario:1 ~sched:true ~tenant_prefix:"B" in
+  Alcotest.(check bool) "A meets SLO" true (a_on.Fig5.p95_read_us <= 500.0);
+  Alcotest.(check bool) "B meets SLO" true (b_on.Fig5.p95_read_us <= 500.0);
+  Alcotest.(check bool) "A at reservation" true (a_on.Fig5.achieved_kiops > 115.0);
+  Alcotest.(check bool) "B at reservation" true (b_on.Fig5.achieved_kiops > 66.0);
+  (* Scheduler off: the LC SLO is violated. *)
+  let a_off = get ~scenario:1 ~sched:false ~tenant_prefix:"A" in
+  Alcotest.(check bool) "A violated without scheduler" true (a_off.Fig5.p95_read_us > 500.0);
+  (* BE fairness: C (95% reads) gets several times D's IOPS (write cost). *)
+  let c_on = get ~scenario:1 ~sched:true ~tenant_prefix:"C" in
+  let d_on = get ~scenario:1 ~sched:true ~tenant_prefix:"D" in
+  Alcotest.(check bool) "C >> D" true (c_on.Fig5.achieved_kiops > 3.0 *. d_on.Fig5.achieved_kiops);
+  (* Scenario 2: B's unused reservation flows to the BE tenants. *)
+  let c_s2 = get ~scenario:2 ~sched:true ~tenant_prefix:"C" in
+  Alcotest.(check bool) "work conservation across scenarios" true
+    (c_s2.Fig5.achieved_kiops > 1.2 *. c_on.Fig5.achieved_kiops)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6a                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6a_linear_scaling () =
+  let rows = Fig6.run_cores () in
+  let r1 = find_row rows (fun r -> r.Fig6.cores = 1) in
+  let r12 = find_row rows (fun r -> r.Fig6.cores = 12) in
+  Alcotest.(check bool) "LC scales ~12x" true
+    (r12.Fig6.lc_kiops > 10.0 *. r1.Fig6.lc_kiops);
+  Alcotest.(check bool) "BE shrinks" true (r12.Fig6.be_kiops < r1.Fig6.be_kiops);
+  (* Token usage pinned at the 2ms ceiling at every scale. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tokens pinned (%d cores: %.0fK)" r.Fig6.cores r.Fig6.ktokens_per_sec)
+        true
+        (abs_float (r.Fig6.ktokens_per_sec -. r1.Fig6.ktokens_per_sec) < 20.0))
+    rows;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "all LC under 2ms SLO" true (r.Fig6.lc_p95_worst_us < 2000.0))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ablation_cost_model () =
+  let rows = Ablations.run_cost_model () in
+  let calibrated = find_row rows (fun r -> r.Ablations.lc_slo_met) in
+  let naive = find_row rows (fun r -> not r.Ablations.lc_slo_met) in
+  Alcotest.(check bool) "naive pricing blows the LC tail" true
+    (naive.Ablations.lc_p95_us > 1.5 *. calibrated.Ablations.lc_p95_us)
+
+let test_ablation_donation () =
+  let rows = Ablations.run_donation () in
+  let at f = (find_row rows (fun r -> r.Ablations.fraction = f)).Ablations.be_kiops in
+  Alcotest.(check bool) "donations feed best-effort tenants" true (at 0.9 > 1.3 *. at 0.0)
+
+let test_ablation_batching () =
+  let rows = Ablations.run_batching () in
+  let at c = find_row rows (fun r -> r.Ablations.batch_cap = c) in
+  Alcotest.(check bool) "no batching collapses throughput" true
+    ((at 1).Ablations.achieved_kiops < 0.85 *. (at 64).Ablations.achieved_kiops);
+  Alcotest.(check bool) "no batching inflates the tail" true
+    ((at 1).Ablations.p95_us > 5.0 *. (at 64).Ablations.p95_us)
+
+let suite =
+  [
+    ("table2", [ Alcotest.test_case "access-path ordering & +21us" `Slow test_table2_ordering ]);
+    ("fig5", [ Alcotest.test_case "isolation claims" `Slow test_fig5_claims ]);
+    ("fig6a", [ Alcotest.test_case "linear core scaling" `Slow test_fig6a_linear_scaling ]);
+    ( "ablations",
+      [
+        Alcotest.test_case "cost model matters" `Slow test_ablation_cost_model;
+        Alcotest.test_case "donation fraction matters" `Slow test_ablation_donation;
+        Alcotest.test_case "batching matters" `Slow test_ablation_batching;
+      ] );
+  ]

@@ -1,0 +1,234 @@
+(* Tests for the measurement toolkit. *)
+
+open Reflex_engine
+open Reflex_stats
+
+(* ------------------------------------------------------------------ *)
+(* Hdr_histogram                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_hdr_small_exact () =
+  let h = Hdr_histogram.create () in
+  List.iter (fun v -> Hdr_histogram.record h (Int64.of_int v)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Hdr_histogram.count h);
+  Alcotest.(check int64) "p0 = min" 1L (Hdr_histogram.percentile h 0.0);
+  Alcotest.(check int64) "median" 3L (Hdr_histogram.percentile h 50.0);
+  Alcotest.(check int64) "p100 = max" 5L (Hdr_histogram.percentile h 100.0);
+  Alcotest.(check int64) "min" 1L (Hdr_histogram.min_value h);
+  Alcotest.(check int64) "max" 5L (Hdr_histogram.max_value h)
+
+let test_hdr_mean () =
+  let h = Hdr_histogram.create () in
+  Hdr_histogram.record_n h 100L 3;
+  Hdr_histogram.record h 200L;
+  Alcotest.(check (float 1e-9)) "mean" 125.0 (Hdr_histogram.mean h)
+
+let test_hdr_relative_error () =
+  (* Large values land in log buckets; relative error must stay under ~3%. *)
+  let h = Hdr_histogram.create () in
+  let v = 123_456_789L in
+  Hdr_histogram.record h v;
+  let p = Hdr_histogram.percentile h 50.0 in
+  let err =
+    Int64.to_float (Int64.sub p v) /. Int64.to_float v
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "relative error %.4f within 3%%" err)
+    true
+    (err >= 0.0 && err <= 0.03)
+
+let test_hdr_merge_reset () =
+  let a = Hdr_histogram.create () and b = Hdr_histogram.create () in
+  Hdr_histogram.record a 10L;
+  Hdr_histogram.record b 20L;
+  Hdr_histogram.merge ~dst:a ~src:b;
+  Alcotest.(check int) "merged count" 2 (Hdr_histogram.count a);
+  Alcotest.(check int64) "merged max" 20L (Hdr_histogram.max_value a);
+  Hdr_histogram.reset a;
+  Alcotest.(check int) "reset count" 0 (Hdr_histogram.count a)
+
+let test_hdr_empty_raises () =
+  let h = Hdr_histogram.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Hdr_histogram.percentile: empty") (fun () ->
+      ignore (Hdr_histogram.percentile h 50.0))
+
+let prop_hdr_vs_reservoir =
+  QCheck.Test.make ~name:"hdr percentile within 3% of exact" ~count:50
+    QCheck.(list_of_size Gen.(int_range 100 2000) (int_range 1_000 100_000_000))
+    (fun values ->
+      let h = Hdr_histogram.create () in
+      let prng = Prng.create 1L in
+      let r = Reservoir.create prng in
+      List.iter
+        (fun v ->
+          Hdr_histogram.record h (Int64.of_int v);
+          Reservoir.add r (float_of_int v))
+        values;
+      List.for_all
+        (fun p ->
+          let approx = Int64.to_float (Hdr_histogram.percentile h p) in
+          let exact = Reservoir.percentile r p in
+          (* Both are bucket/interpolation approximations of the same rank;
+             allow 4% slack plus interpolation width. *)
+          approx >= exact *. 0.96 -. 2.0 && approx <= (exact *. 1.04) +. 2.0)
+        [ 50.0; 90.0; 95.0; 99.0 ])
+
+let prop_hdr_monotone =
+  QCheck.Test.make ~name:"hdr percentiles are monotone in p" ~count:50
+    QCheck.(list_of_size Gen.(int_range 10 500) (int_range 1 10_000_000))
+    (fun values ->
+      let h = Hdr_histogram.create () in
+      List.iter (fun v -> Hdr_histogram.record h (Int64.of_int v)) values;
+      let ps = [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 ] in
+      let vals = List.map (Hdr_histogram.percentile h) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && monotone rest
+        | _ -> true
+      in
+      monotone vals)
+
+(* ------------------------------------------------------------------ *)
+(* Reservoir                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reservoir_exact_percentiles () =
+  let r = Reservoir.create (Prng.create 3L) in
+  for i = 1 to 100 do
+    Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-6)) "median" 50.5 (Reservoir.percentile r 50.0);
+  Alcotest.(check (float 1e-6)) "p95" 95.05 (Reservoir.percentile r 95.0);
+  Alcotest.(check (float 1e-6)) "mean" 50.5 (Reservoir.mean r)
+
+let test_reservoir_sampling_cap () =
+  let r = Reservoir.create ~capacity:100 (Prng.create 5L) in
+  for i = 1 to 10_000 do
+    Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "seen all" 10_000 (Reservoir.count r);
+  Alcotest.(check int) "stored capped" 100 (Array.length (Reservoir.values r));
+  (* The sampled median should still be near 5000. *)
+  let med = Reservoir.percentile r 50.0 in
+  Alcotest.(check bool) "sampled median plausible" true (med > 3_000.0 && med < 7_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_moments () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Summary.mean s);
+  Alcotest.(check (float 1e-6)) "sample variance" (32.0 /. 7.0) (Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Summary.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Summary.max_value s);
+  Summary.reset s;
+  Alcotest.(check int) "reset" 0 (Summary.count s)
+
+(* ------------------------------------------------------------------ *)
+(* Meter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_meter_rate () =
+  let sim = Sim.create () in
+  let m = Meter.create sim in
+  (* 1000 marks over 10ms = 100K/s *)
+  for i = 1 to 1000 do
+    ignore (Sim.at sim (Time.us (i * 10)) (fun () -> Meter.mark m ()))
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (float 1.0)) "rate 100K/s" 100_000.0 (Meter.rate m)
+
+let test_meter_checkpoint () =
+  let sim = Sim.create () in
+  let m = Meter.create sim in
+  ignore (Sim.at sim (Time.ms 1) (fun () -> Meter.mark m ~n:100 ()));
+  ignore (Sim.run ~until:(Time.ms 1) sim);
+  let r1 = Meter.checkpoint m in
+  Alcotest.(check (float 1.0)) "first window" 100_000.0 r1;
+  ignore (Sim.at sim (Time.ms 2) (fun () -> Meter.mark m ~n:300 ()));
+  ignore (Sim.run ~until:(Time.ms 2) sim);
+  let r2 = Meter.checkpoint m in
+  Alcotest.(check (float 1.0)) "second window independent" 300_000.0 r2
+
+(* ------------------------------------------------------------------ *)
+(* Linear_fit                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fit_exact_line () =
+  let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
+  let f = Linear_fit.fit pts in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 f.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 f.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 f.r2
+
+let test_fit_through_origin () =
+  let pts = [ (1.0, 2.1); (2.0, 3.9); (4.0, 8.1) ] in
+  let f = Linear_fit.fit_through_origin pts in
+  Alcotest.(check bool) "slope ~2" true (abs_float (f.slope -. 2.0) < 0.05);
+  Alcotest.(check (float 1e-9)) "intercept 0" 0.0 f.intercept
+
+let test_fit_degenerate () =
+  Alcotest.check_raises "single point" (Invalid_argument "Linear_fit.fit: need at least 2 points")
+    (fun () -> ignore (Linear_fit.fit [ (1.0, 1.0) ]))
+
+let prop_fit_recovers_line =
+  QCheck.Test.make ~name:"fit recovers noiseless line" ~count:100
+    QCheck.(triple (float_range (-10.0) 10.0) (float_range (-10.0) 10.0) (int_range 3 30))
+    (fun (a, b, n) ->
+      let pts = List.init n (fun i -> (float_of_int i, a +. (b *. float_of_int i))) in
+      let f = Linear_fit.fit pts in
+      abs_float (f.slope -. b) < 1e-6 && abs_float (f.intercept -. a) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> String.length l >= 8 && String.sub l 0 8 = "alpha  1"));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Table.add_row: 1 cells for 2 columns") (fun () ->
+      Table.add_row t [ "x" ])
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "hdr_histogram",
+      [
+        Alcotest.test_case "small values exact" `Quick test_hdr_small_exact;
+        Alcotest.test_case "mean" `Quick test_hdr_mean;
+        Alcotest.test_case "bounded relative error" `Quick test_hdr_relative_error;
+        Alcotest.test_case "merge and reset" `Quick test_hdr_merge_reset;
+        Alcotest.test_case "empty raises" `Quick test_hdr_empty_raises;
+        qcheck prop_hdr_vs_reservoir;
+        qcheck prop_hdr_monotone;
+      ] );
+    ( "reservoir",
+      [
+        Alcotest.test_case "exact percentiles" `Quick test_reservoir_exact_percentiles;
+        Alcotest.test_case "sampling past capacity" `Quick test_reservoir_sampling_cap;
+      ] );
+    ("summary", [ Alcotest.test_case "moments" `Quick test_summary_moments ]);
+    ( "meter",
+      [
+        Alcotest.test_case "rate" `Quick test_meter_rate;
+        Alcotest.test_case "checkpoint windows" `Quick test_meter_checkpoint;
+      ] );
+    ( "linear_fit",
+      [
+        Alcotest.test_case "exact line" `Quick test_fit_exact_line;
+        Alcotest.test_case "through origin" `Quick test_fit_through_origin;
+        Alcotest.test_case "degenerate input" `Quick test_fit_degenerate;
+        qcheck prop_fit_recovers_line;
+      ] );
+    ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+  ]
