@@ -5,13 +5,19 @@
    Usage:  dune exec bench/main.exe [-- --full] [-- --only fig5,table2]
      --full          longer measurement windows, denser sweeps
      --only LIST     comma-separated experiment ids
-     --skip-micro    skip the Bechamel microbenchmarks *)
+     --skip-micro    skip the Bechamel microbenchmarks
+     --jobs N        fan sweep points across N domains (default: all cores)
+     --serial        one domain (same tables: results are order-merged)
+     --json PATH     also write machine-readable results, e.g.
+                     --json BENCH_$(date +%%F).json *)
 
 open Reflex_experiments
 
 let mode = ref Common.Quick
 let only : string list ref = ref []
 let skip_micro = ref false
+let jobs = ref (Runner.recommended_jobs ())
+let json_path : string option ref = ref None
 
 let parse_args () =
   let rec go = function
@@ -25,17 +31,35 @@ let parse_args () =
     | "--skip-micro" :: rest ->
       skip_micro := true;
       go rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ -> failwith "--jobs expects a positive integer");
+      go rest
+    | "--serial" :: rest ->
+      jobs := 1;
+      go rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv))
 
 let enabled id = !only = [] || List.mem id !only
 
+(* (id, wall seconds) per experiment and (name, ns/op) per micro, for
+   --json: a perf trajectory future changes can be compared against. *)
+let exp_times : (string * float) list ref = ref []
+let micro_results : (string * float) list ref = ref []
+
 let timed id f =
   if enabled id then begin
     let t0 = Unix.gettimeofday () in
     f ();
-    Printf.printf "[%s finished in %.1fs]\n\n%!" id (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    exp_times := (id, dt) :: !exp_times;
+    Printf.printf "[%s finished in %.1fs]\n\n%!" id dt
   end
 
 let experiments =
@@ -153,15 +177,52 @@ let micro_benchmarks () =
       Hashtbl.iter
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some (t :: _) -> Printf.printf "%-28s %12.1f\n" name t
+          | Some (t :: _) ->
+            micro_results := (name, t) :: !micro_results;
+            Printf.printf "%-28s %12.1f\n" name t
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
     tests;
   print_newline ()
 
+(* ---------------- JSON results ---------------- *)
+
+let write_json path =
+  let oc = open_out path in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  Printf.fprintf oc "  \"mode\": \"%s\",\n"
+    (match !mode with Common.Quick -> "quick" | Common.Full -> "full");
+  Printf.fprintf oc "  \"jobs\": %d,\n" !jobs;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  let exps = List.rev !exp_times in
+  List.iteri
+    (fun i (id, dt) ->
+      Printf.fprintf oc "    {\"id\": \"%s\", \"wall_s\": %.3f}%s\n" id dt
+        (if i = List.length exps - 1 then "" else ","))
+    exps;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"micros\": [\n";
+  let micros = List.rev !micro_results in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_op\": %.2f}%s\n" name ns
+        (if i = List.length micros - 1 then "" else ","))
+    micros;
+  Printf.fprintf oc "  ]\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path
+
 let () =
   parse_args ();
-  Printf.printf "ReFlex reproduction harness (%s mode)\n\n%!"
-    (match !mode with Common.Quick -> "quick" | Common.Full -> "full");
+  Runner.set_default_jobs !jobs;
+  Printf.printf "ReFlex reproduction harness (%s mode, %d job%s)\n\n%!"
+    (match !mode with Common.Quick -> "quick" | Common.Full -> "full")
+    !jobs
+    (if !jobs = 1 then "" else "s");
   List.iter (fun (id, f) -> timed id (fun () -> f !mode)) experiments;
-  if (not !skip_micro) && enabled "micro" then micro_benchmarks ()
+  if (not !skip_micro) && enabled "micro" then micro_benchmarks ();
+  match !json_path with Some p -> write_json p | None -> ()

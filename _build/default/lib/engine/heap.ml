@@ -45,31 +45,48 @@ let peek t =
     let e = t.arr.(0) in
     Some (e.time, e.seq, e.value)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.arr.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
-        if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.arr.(!i) in
-          t.arr.(!i) <- t.arr.(!smallest);
-          t.arr.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.seq, top.value)
-  end
+(* Remove and return the root; requires [t.size > 0]. *)
+let remove_top t =
+  let top = t.arr.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.arr.(0) <- t.arr.(t.size);
+    (* Blank the vacated slot with a duplicate of a live entry so the heap
+       does not pin the removed element (space leak on long runs).  When
+       the heap drains to empty, slot 0 still references the returned
+       element until the next push overwrites it — bounded to one entry. *)
+    t.arr.(t.size) <- t.arr.(0);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.arr.(!i) in
+        t.arr.(!i) <- t.arr.(!smallest);
+        t.arr.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (top.time, top.seq, top.value)
 
-let clear t = t.size <- 0
+let pop t = if t.size = 0 then None else Some (remove_top t)
+
+(* Single-traversal peek+pop: pop the minimum only when it is due.  This
+   is the event loop's hot path — one root comparison replaces the
+   peek-then-pop double traversal. *)
+let pop_if_le t ~until =
+  if t.size = 0 then None
+  else if Time.compare t.arr.(0).time until > 0 then None
+  else Some (remove_top t)
+
+let clear t =
+  (* Drop the storage outright so stale entries cannot pin their payloads
+     (the array slots beyond [size] would otherwise keep references). *)
+  t.arr <- [||];
+  t.size <- 0

@@ -18,4 +18,12 @@ val peek : 'a t -> (Time.t * int * 'a) option
 (** Remove and return the smallest element. *)
 val pop : 'a t -> (Time.t * int * 'a) option
 
+(** [pop_if_le t ~until] pops the smallest element only if its time is
+    [<= until]; returns [None] when the heap is empty or the minimum is
+    beyond the horizon.  Equivalent to a {!peek} guard followed by
+    {!pop}, in a single traversal — the simulator's hot path. *)
+val pop_if_le : 'a t -> until:Time.t -> (Time.t * int * 'a) option
+
+(** Empty the heap, dropping all references to stored values (the backing
+    array is released, so cleared entries can be collected). *)
 val clear : 'a t -> unit

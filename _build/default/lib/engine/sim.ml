@@ -34,18 +34,16 @@ let run ?(until = Time.infinity) t =
   let executed_before = t.executed in
   let continue = ref true in
   while !continue do
-    match Heap.peek t.heap with
+    (* Single heap traversal per event: pop only when the minimum is due,
+       instead of the former peek-then-pop pair. *)
+    match Heap.pop_if_le t.heap ~until with
     | None -> continue := false
-    | Some (time, _, _) when Time.(time > until) -> continue := false
-    | Some _ -> (
-      match Heap.pop t.heap with
-      | None -> continue := false
-      | Some (time, _, ev) ->
-        t.clock <- time;
-        if not ev.cancelled then begin
-          t.executed <- t.executed + 1;
-          ev.action ()
-        end)
+    | Some (time, _, ev) ->
+      t.clock <- time;
+      if not ev.cancelled then begin
+        t.executed <- t.executed + 1;
+        ev.action ()
+      end
   done;
   (* The clock advances to [until] even if the queue drained earlier, so
      that rate computations based on [now] are well defined. *)
@@ -62,6 +60,11 @@ let every t ~every:period ~until f =
       ignore
         (at t time (fun () ->
              f time;
-             tick (Time.add time period)))
+             let next = Time.add time period in
+             (* Guard int64 wrap-around near Time.infinity: a wrapped
+                [next] would be "in the past" and make [at] raise from
+                inside the event loop. *)
+             if Time.(next > time) then tick next))
   in
-  tick (Time.add t.clock period)
+  let first = Time.add t.clock period in
+  if Time.(first > t.clock) then tick first

@@ -1,1 +1,1 @@
-lib/experiments/reflex_experiments.ml: Ablations Common Fig1 Fig3 Fig4 Fig5 Fig6 Fig7 Table2
+lib/experiments/reflex_experiments.ml: Ablations Common Fig1 Fig3 Fig4 Fig5 Fig6 Fig7 Runner Table2

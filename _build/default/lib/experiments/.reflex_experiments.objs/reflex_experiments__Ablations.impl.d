@@ -1,1 +1,1 @@
-lib/experiments/ablations.ml: Common Float Int64 List Load_gen Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_qos Reflex_stats Sim Table Time
+lib/experiments/ablations.ml: Common Float Int64 List Load_gen Reflex_client Reflex_core Reflex_engine Reflex_net Reflex_qos Reflex_stats Runner Sim Table Time

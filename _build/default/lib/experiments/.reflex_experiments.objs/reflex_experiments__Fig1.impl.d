@@ -1,1 +1,1 @@
-lib/experiments/fig1.ml: Calibrate Common Device_profile List Reflex_engine Reflex_flash Reflex_stats Table Time
+lib/experiments/fig1.ml: Calibrate Common Device_profile List Reflex_engine Reflex_flash Reflex_stats Runner Table Time

@@ -1,1 +1,1 @@
-lib/experiments/fig3.ml: Calibrate Common Device_profile Io_op List Reflex_engine Reflex_flash Reflex_qos Reflex_stats Table Time
+lib/experiments/fig3.ml: Calibrate Common Device_profile Io_op List Reflex_engine Reflex_flash Reflex_qos Reflex_stats Runner Table Time

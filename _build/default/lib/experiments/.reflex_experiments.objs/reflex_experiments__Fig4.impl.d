@@ -1,1 +1,1 @@
-lib/experiments/fig4.ml: Common Float Int64 List Load_gen Prng Reflex_baselines Reflex_client Reflex_engine Reflex_flash Reflex_net Reflex_stats Sim Stack_model Table Time
+lib/experiments/fig4.ml: Common Float Int64 List Load_gen Prng Reflex_baselines Reflex_client Reflex_engine Reflex_flash Reflex_net Reflex_stats Runner Sim Stack_model Table Time

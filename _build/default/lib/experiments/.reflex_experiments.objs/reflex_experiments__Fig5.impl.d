@@ -1,1 +1,1 @@
-lib/experiments/fig5.ml: Common List Load_gen Reflex_client Reflex_engine Reflex_stats Sim Table Time
+lib/experiments/fig5.ml: Common List Load_gen Reflex_client Reflex_engine Reflex_stats Runner Sim Table Time

@@ -1,1 +1,1 @@
-lib/experiments/fig7.ml: Access_path Common Fio Flashx List Reflex_apps Reflex_baselines Reflex_core Reflex_engine Reflex_net Reflex_stats Rocksdb Sim Table Time
+lib/experiments/fig7.ml: Access_path Common Fio Flashx List Reflex_apps Reflex_baselines Reflex_core Reflex_engine Reflex_net Reflex_stats Rocksdb Runner Sim Table Time

@@ -1,1 +1,1 @@
-lib/experiments/table2.ml: Common Hdr_histogram List Load_gen Printf Reflex_baselines Reflex_client Reflex_engine Reflex_flash Reflex_net Reflex_stats Sim Stack_model Table Time
+lib/experiments/table2.ml: Common Hdr_histogram List Load_gen Printf Reflex_baselines Reflex_client Reflex_engine Reflex_flash Reflex_net Reflex_stats Runner Sim Stack_model Table Time

@@ -53,7 +53,7 @@ let neg_limit_point ~mode ~neg_limit =
   }
 
 let run_neg_limit ?(mode = Common.Quick) () =
-  List.map (fun neg_limit -> neg_limit_point ~mode ~neg_limit) [ 0.0; -10.0; -50.0; -500.0 ]
+  Runner.map (fun neg_limit -> neg_limit_point ~mode ~neg_limit) [ 0.0; -10.0; -50.0; -500.0 ]
 
 (* ---------------- donation fraction ---------------- *)
 
@@ -76,7 +76,7 @@ let donation_point ~mode ~fraction =
   { fraction; be_kiops = Load_gen.achieved_iops gen_be /. 1e3 }
 
 let run_donation ?(mode = Common.Quick) () =
-  List.map (fun fraction -> donation_point ~mode ~fraction) [ 0.0; 0.5; 0.9; 1.0 ]
+  Runner.map (fun fraction -> donation_point ~mode ~fraction) [ 0.0; 0.5; 0.9; 1.0 ]
 
 (* ---------------- adaptive batching cap ---------------- *)
 
@@ -102,7 +102,7 @@ let batching_point ~mode ~batch_cap =
   { batch_cap; achieved_kiops = achieved /. 1e3; p95_us = p95 }
 
 let run_batching ?(mode = Common.Quick) () =
-  List.map (fun batch_cap -> batching_point ~mode ~batch_cap) [ 1; 4; 16; 64; 512 ]
+  Runner.map (fun batch_cap -> batching_point ~mode ~batch_cap) [ 1; 4; 16; 64; 512 ]
 
 (* ---------------- cost model ---------------- *)
 
@@ -139,11 +139,13 @@ let cost_model_point ~mode ~config ~cost_model =
   }
 
 let run_cost_model ?(mode = Common.Quick) () =
-  [
-    cost_model_point ~mode ~config:"calibrated (write = 10 tokens)" ~cost_model:None;
-    cost_model_point ~mode ~config:"naive (write = 1 token)"
-      ~cost_model:(Some { Reflex_qos.Cost_model.write_cost = 1.0; ro_read_cost = 0.5 });
-  ]
+  Runner.map
+    (fun (config, cost_model) -> cost_model_point ~mode ~config ~cost_model)
+    [
+      ("calibrated (write = 10 tokens)", None);
+      ( "naive (write = 1 token)",
+        Some { Reflex_qos.Cost_model.write_cost = 1.0; ro_read_cost = 0.5 } );
+    ]
 
 (* ---------------- tables ---------------- *)
 

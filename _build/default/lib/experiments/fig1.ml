@@ -27,23 +27,26 @@ let run ?(mode = Common.Quick) () =
       warmup = Time.ms 50;
     }
   in
-  List.concat_map
-    (fun read_pct ->
-      List.map
-        (fun rate ->
-          let p =
-            Calibrate.measure ~config Device_profile.device_a
-              ~read_ratio:(float_of_int read_pct /. 100.0)
-              ~bytes:4096 ~rate
-          in
-          {
-            read_pct;
-            offered_iops = rate;
-            achieved_iops = p.Calibrate.achieved_iops;
-            p95_read_us = p.Calibrate.p95_read_us;
-          })
-        (rates_for ~read_pct mode))
-    [ 100; 99; 95; 90; 75; 50 ]
+  (* Every (ratio, rate) point is its own seeded simulation: fan them out. *)
+  let points =
+    List.concat_map
+      (fun read_pct -> List.map (fun rate -> (read_pct, rate)) (rates_for ~read_pct mode))
+      [ 100; 99; 95; 90; 75; 50 ]
+  in
+  Runner.map
+    (fun (read_pct, rate) ->
+      let p =
+        Calibrate.measure ~config Device_profile.device_a
+          ~read_ratio:(float_of_int read_pct /. 100.0)
+          ~bytes:4096 ~rate
+      in
+      {
+        read_pct;
+        offered_iops = rate;
+        achieved_iops = p.Calibrate.achieved_iops;
+        p95_read_us = p.Calibrate.p95_read_us;
+      })
+    points
 
 let to_table rows =
   let t =

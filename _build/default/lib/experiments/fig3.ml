@@ -46,7 +46,9 @@ let run ?(mode = Common.Quick) () =
     { Calibrate.default_config with duration = Common.window mode; warmup = Time.ms 50 }
   in
   let n_points = match mode with Common.Quick -> 4 | Common.Full -> 8 in
-  let points =
+  (* Enumerate every (device, workload, load step) sweep point serially
+     (cheap arithmetic), then measure them all in parallel. *)
+  let point_specs =
     List.concat_map
       (fun profile ->
         let cap = Device_profile.token_capacity profile in
@@ -64,19 +66,25 @@ let run ?(mode = Common.Quick) () =
             List.map
               (fun i ->
                 let rate = top_rate *. float_of_int i /. float_of_int n_points in
-                let p = Calibrate.measure ~config profile ~read_ratio ~bytes ~rate in
-                {
-                  device = profile.Device_profile.name;
-                  label;
-                  weighted_ktokens = weighted_rate profile ~read_ratio ~bytes ~rate /. 1e3;
-                  p95_read_us = p.Calibrate.p95_read_us;
-                })
+                (profile, label, read_ratio, bytes, rate))
               (List.init n_points (fun i -> i + 1)))
           workloads)
       Device_profile.all
   in
+  let points =
+    Runner.map
+      (fun (profile, label, read_ratio, bytes, rate) ->
+        let p = Calibrate.measure ~config profile ~read_ratio ~bytes ~rate in
+        {
+          device = profile.Device_profile.name;
+          label;
+          weighted_ktokens = weighted_rate profile ~read_ratio ~bytes ~rate /. 1e3;
+          p95_read_us = p.Calibrate.p95_read_us;
+        })
+      point_specs
+  in
   let fits =
-    List.map
+    Runner.map
       (fun profile ->
         let f =
           Calibrate.fit_cost_model ~config

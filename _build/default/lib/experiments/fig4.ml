@@ -105,25 +105,28 @@ let run ?(mode = Common.Quick) () =
       ("Libaio", 2, [ 50e3; 100e3; 140e3; 160e3 ]);
     ]
   in
-  List.concat_map
-    (fun (system, threads, rates) ->
-      List.map
-        (fun rate ->
-          let achieved, p95 =
-            match system with
-            | "Local" -> local_point ~threads ~rate ~window
-            | "ReFlex" -> reflex_point ~threads ~rate ~window
-            | _ -> libaio_point ~threads ~rate ~window
-          in
-          {
-            system;
-            threads;
-            offered_kiops = rate /. 1e3;
-            achieved_kiops = achieved /. 1e3;
-            p95_us = p95;
-          })
-        rates)
-    sweeps
+  (* Each (system, threads, rate) point builds a fresh world — fan out. *)
+  let points =
+    List.concat_map
+      (fun (system, threads, rates) -> List.map (fun rate -> (system, threads, rate)) rates)
+      sweeps
+  in
+  Runner.map
+    (fun (system, threads, rate) ->
+      let achieved, p95 =
+        match system with
+        | "Local" -> local_point ~threads ~rate ~window
+        | "ReFlex" -> reflex_point ~threads ~rate ~window
+        | _ -> libaio_point ~threads ~rate ~window
+      in
+      {
+        system;
+        threads;
+        offered_kiops = rate /. 1e3;
+        achieved_kiops = achieved /. 1e3;
+        p95_us = p95;
+      })
+    points
 
 let to_table rows =
   let t =

@@ -58,7 +58,8 @@ let scenario ~mode ~scenario:sc ~sched =
   ]
 
 let run ?(mode = Common.Quick) () =
-  List.concat_map
+  (* Four independent worlds (scenario x scheduler on/off): fan out. *)
+  Runner.concat_map
     (fun (sc, sched) -> scenario ~mode ~scenario:sc ~sched)
     [ (1, false); (1, true); (2, false); (2, true) ]
 

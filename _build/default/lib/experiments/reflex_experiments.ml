@@ -3,6 +3,7 @@
     paper reports them.  See DESIGN.md for the experiment index and
     EXPERIMENTS.md for paper-vs-measured results. *)
 
+module Runner = Runner
 module Common = Common
 module Fig1 = Fig1
 module Fig3 = Fig3

@@ -92,17 +92,23 @@ let local_row () =
 
 let run ?(mode = Common.Quick) () =
   ignore mode;
-  [
-    local_row ();
-    baseline_row ~kind:Reflex_baselines.Baseline_server.Iscsi ~stack:Stack_model.linux_client
-      ~label:"iSCSI" ();
-    baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.linux_client
-      ~label:"Libaio (Linux)" ();
-    baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.ix_client
-      ~label:"Libaio (IX)" ();
-    reflex_row ~stack:Stack_model.linux_client ~label:"ReFlex (Linux)" ();
-    reflex_row ~stack:Stack_model.ix_client ~label:"ReFlex (IX)" ();
-  ]
+  (* Six independent access-path worlds — fan the probes out. *)
+  Runner.map
+    (fun row -> row ())
+    [
+      (fun () -> local_row ());
+      (fun () ->
+        baseline_row ~kind:Reflex_baselines.Baseline_server.Iscsi ~stack:Stack_model.linux_client
+          ~label:"iSCSI" ());
+      (fun () ->
+        baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.linux_client
+          ~label:"Libaio (Linux)" ());
+      (fun () ->
+        baseline_row ~kind:Reflex_baselines.Baseline_server.Libaio ~stack:Stack_model.ix_client
+          ~label:"Libaio (IX)" ());
+      (fun () -> reflex_row ~stack:Stack_model.linux_client ~label:"ReFlex (Linux)" ());
+      (fun () -> reflex_row ~stack:Stack_model.ix_client ~label:"ReFlex (IX)" ());
+    ]
 
 let to_table rows =
   let t =

@@ -8,12 +8,23 @@ type 'a t = {
   global : Global_bucket.t;
   thread_id : int;
   notify_control_plane : int -> unit;
-  mutable lc : 'a Tenant.t list;
+  (* Tenant sets live in growable arrays: the first [lc_n]/[be_n] slots
+     are the members, in insertion order.  Appends are amortized O(1)
+     (the old [t.lc @ [tenant]] was O(n) per add, O(n^2) for a fleet). *)
+  mutable lc : 'a Tenant.t array;
+  mutable lc_n : int;
   mutable be : 'a Tenant.t array;
+  mutable be_n : int;
   by_id : (int, 'a Tenant.t) Hashtbl.t; (* O(1) lookup on the request path *)
   mutable be_cursor : int; (* round-robin start for fairness *)
   mutable prev_sched_time : Time.t option;
   mutable lc_generated : float;
+  (* Incrementally maintained sum of every member tenant's demand, so
+     [backlog] is O(1) and allocation-free on the per-cycle path (the
+     dataplane consults it every finish_cycle).  Updated via each
+     tenant's demand listener, which also covers direct queue drains
+     (detach). *)
+  mutable backlog_agg : float;
 }
 
 let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
@@ -27,31 +38,83 @@ let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
     global;
     thread_id;
     notify_control_plane;
-    lc = [];
+    lc = [||];
+    lc_n = 0;
     be = [||];
+    be_n = 0;
     by_id = Hashtbl.create 64;
     be_cursor = 0;
     prev_sched_time = None;
     lc_generated = 0.0;
+    backlog_agg = 0.0;
   }
+
+(* Append [x] into the first free slot of [arr] (of which [n] are live),
+   doubling capacity when full; returns the array to store back. *)
+let grow_push arr n x =
+  let arr =
+    if n = Array.length arr then begin
+      let narr = Array.make (if n = 0 then 8 else 2 * n) x in
+      Array.blit arr 0 narr 0 n;
+      narr
+    end
+    else arr
+  in
+  arr.(n) <- x;
+  arr
 
 let add_tenant t tenant =
   if Hashtbl.mem t.by_id (Tenant.id tenant) then
     invalid_arg "Scheduler.add_tenant: duplicate tenant id";
   Hashtbl.replace t.by_id (Tenant.id tenant) tenant;
-  if Tenant.is_latency_critical tenant then t.lc <- t.lc @ [ tenant ]
-  else t.be <- Array.append t.be [| tenant |]
+  if Tenant.is_latency_critical tenant then begin
+    t.lc <- grow_push t.lc t.lc_n tenant;
+    t.lc_n <- t.lc_n + 1
+  end
+  else begin
+    t.be <- grow_push t.be t.be_n tenant;
+    t.be_n <- t.be_n + 1
+  end;
+  t.backlog_agg <- t.backlog_agg +. Tenant.demand tenant;
+  Tenant.set_demand_listener tenant (fun delta -> t.backlog_agg <- t.backlog_agg +. delta)
+
+(* Single-pass, order-preserving removal from the live prefix of [arr].
+   Returns the new live count.  The vacated slot is re-pointed at a
+   still-live tenant (or the array dropped when it empties) so the
+   scheduler does not pin removed tenants. *)
+let remove_from arr n tenant_id =
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if Tenant.id arr.(i) <> tenant_id then begin
+      if !j < i then arr.(!j) <- arr.(i);
+      incr j
+    end
+  done;
+  (if !j < n && !j > 0 then arr.(!j) <- arr.(0));
+  !j
 
 let remove_tenant t tenant_id =
-  if Hashtbl.mem t.by_id tenant_id then begin
+  match Hashtbl.find_opt t.by_id tenant_id with
+  | None -> ()
+  | Some tenant ->
     Hashtbl.remove t.by_id tenant_id;
-    t.lc <- List.filter (fun x -> Tenant.id x <> tenant_id) t.lc;
-    t.be <- Array.of_list (List.filter (fun x -> Tenant.id x <> tenant_id) (Array.to_list t.be));
-    if Array.length t.be > 0 then t.be_cursor <- t.be_cursor mod Array.length t.be
-    else t.be_cursor <- 0
-  end
+    Tenant.clear_demand_listener tenant;
+    t.backlog_agg <- t.backlog_agg -. Tenant.demand tenant;
+    if t.backlog_agg < 0.0 then t.backlog_agg <- 0.0;
+    if Tenant.is_latency_critical tenant then begin
+      t.lc_n <- remove_from t.lc t.lc_n tenant_id;
+      if t.lc_n = 0 then t.lc <- [||]
+    end
+    else begin
+      t.be_n <- remove_from t.be t.be_n tenant_id;
+      if t.be_n = 0 then t.be <- [||];
+      (* Keep the historical cursor behavior: clamp into the shrunk set. *)
+      if t.be_n > 0 then t.be_cursor <- t.be_cursor mod t.be_n else t.be_cursor <- 0
+    end
 
-let tenants t = t.lc @ Array.to_list t.be
+let tenants t =
+  List.init t.lc_n (fun i -> t.lc.(i)) @ List.init t.be_n (fun i -> t.be.(i))
+
 let find_tenant t tenant_id = Hashtbl.find_opt t.by_id tenant_id
 let tenant_count t = Hashtbl.length t.by_id
 
@@ -60,7 +123,9 @@ let enqueue t ~tenant_id ~cost req =
   | Some tenant -> Tenant.enqueue tenant ~cost req
   | None -> raise Not_found
 
-let backlog t = List.fold_left (fun acc x -> acc +. Tenant.demand x) 0.0 (tenants t)
+(* O(1), allocation-free: the listener-maintained aggregate.  Clamp tiny
+   negative float drift so idle detection stays exact. *)
+let backlog t = if t.backlog_agg <= 0.0 then 0.0 else t.backlog_agg
 let lc_tokens_generated t = t.lc_generated
 
 (* Submit requests off [tenant]'s queue while there is demand and the
@@ -88,8 +153,8 @@ let submit_admissible tenant ~submit =
   let continue = ref true in
   while !continue do
     match Tenant.peek_cost tenant with
-    | Some cost when cost <= Tenant.tokens tenant ->
-      (match Tenant.dequeue tenant with
+    | Some cost when cost <= Tenant.tokens tenant -> (
+      match Tenant.dequeue tenant with
       | Some (cost, payload) ->
         Tenant.spend_tokens tenant cost;
         Tenant.note_submitted tenant cost;
@@ -109,23 +174,23 @@ let schedule t ~now ~submit =
   t.prev_sched_time <- Some now;
   let submitted = ref 0 in
   (* Latency-critical tenants first (Algorithm 1, lines 4-12). *)
-  List.iter
-    (fun tenant ->
-      let grant = Tenant.token_rate tenant *. time_delta in
-      Tenant.add_tokens tenant grant;
-      Tenant.record_grant tenant grant;
-      t.lc_generated <- t.lc_generated +. grant;
-      if Tenant.tokens tenant < t.neg_limit then t.notify_control_plane (Tenant.id tenant);
-      submitted := !submitted + submit_while tenant ~floor:t.neg_limit ~submit;
-      let pos_limit = Tenant.pos_limit tenant in
-      if Tenant.tokens tenant > pos_limit then begin
-        let donation = Tenant.tokens tenant *. t.donate_fraction in
-        Global_bucket.add t.global donation;
-        Tenant.spend_tokens tenant donation
-      end)
-    t.lc;
+  for i = 0 to t.lc_n - 1 do
+    let tenant = t.lc.(i) in
+    let grant = Tenant.token_rate tenant *. time_delta in
+    Tenant.add_tokens tenant grant;
+    Tenant.record_grant tenant grant;
+    t.lc_generated <- t.lc_generated +. grant;
+    if Tenant.tokens tenant < t.neg_limit then t.notify_control_plane (Tenant.id tenant);
+    submitted := !submitted + submit_while tenant ~floor:t.neg_limit ~submit;
+    let pos_limit = Tenant.pos_limit tenant in
+    if Tenant.tokens tenant > pos_limit then begin
+      let donation = Tenant.tokens tenant *. t.donate_fraction in
+      Global_bucket.add t.global donation;
+      Tenant.spend_tokens tenant donation
+    end
+  done;
   (* Best-effort tenants in round-robin order (lines 13-21). *)
-  let n_be = Array.length t.be in
+  let n_be = t.be_n in
   for k = 0 to n_be - 1 do
     let tenant = t.be.((t.be_cursor + k) mod n_be) in
     Tenant.add_tokens tenant (Tenant.token_rate tenant *. time_delta);

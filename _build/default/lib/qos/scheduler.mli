@@ -46,7 +46,10 @@ val enqueue : 'a t -> tenant_id:int -> cost:float -> 'a -> unit
     submissions. *)
 val schedule : 'a t -> now:Reflex_engine.Time.t -> submit:('a submission -> unit) -> int
 
-(** Total demand (tokens) sitting in this thread's tenant queues. *)
+(** Total demand (tokens) sitting in this thread's tenant queues.  O(1)
+    and allocation-free: an aggregate maintained incrementally through
+    each tenant's demand listener (it stays consistent even when a
+    tenant's queue is drained directly, as on detach). *)
 val backlog : 'a t -> float
 
 (** Tokens generated for LC tenants since creation (observability). *)

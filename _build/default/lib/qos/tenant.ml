@@ -1,3 +1,5 @@
+let no_listener : float -> unit = fun _ -> ()
+
 type 'a t = {
   id : int;
   slo : Slo.t;
@@ -8,6 +10,10 @@ type 'a t = {
   grants : float array; (* last three rounds, ring buffer *)
   mutable grant_pos : int;
   mutable submitted_cost : float;
+  (* Called with the signed change whenever [demand] moves; lets the
+     owning scheduler maintain an O(1) backlog aggregate without
+     rescanning every tenant per cycle. *)
+  mutable on_demand_delta : float -> unit;
 }
 
 let create ~id ~slo ~token_rate =
@@ -22,7 +28,11 @@ let create ~id ~slo ~token_rate =
     grants = Array.make 3 0.0;
     grant_pos = 0;
     submitted_cost = 0.0;
+    on_demand_delta = no_listener;
   }
+
+let set_demand_listener t f = t.on_demand_delta <- f
+let clear_demand_listener t = t.on_demand_delta <- no_listener
 
 let id t = t.id
 let slo t = t.slo
@@ -45,7 +55,8 @@ let drain_tokens t =
 let enqueue t ~cost req =
   if cost <= 0.0 then invalid_arg "Tenant.enqueue: non-positive cost";
   Queue.add (cost, req) t.queue;
-  t.demand <- t.demand +. cost
+  t.demand <- t.demand +. cost;
+  t.on_demand_delta cost
 
 let demand t = t.demand
 let queue_length t = Queue.length t.queue
@@ -55,9 +66,13 @@ let dequeue t =
   match Queue.take_opt t.queue with
   | None -> None
   | Some (cost, req) ->
-    t.demand <- t.demand -. cost;
+    let before = t.demand in
+    let after = before -. cost in
     (* Guard against float drift on long runs. *)
-    if t.demand < 0.0 then t.demand <- 0.0;
+    let after = if after < 0.0 then 0.0 else after in
+    t.demand <- after;
+    (* Report the clamped delta so any aggregate tracks the clamped sum. *)
+    t.on_demand_delta (after -. before);
     Some (cost, req)
 
 let record_grant t x =

@@ -43,6 +43,16 @@ val peek_cost : 'a t -> float option
 (** Remove and return the head request with its cost. *)
 val dequeue : 'a t -> (float * 'a) option
 
+(** [set_demand_listener t f] installs [f], called with the signed demand
+    change on every {!enqueue}/{!dequeue}.  The owning scheduler uses it
+    to keep an O(1) backlog aggregate consistent even when the queue is
+    drained directly (tenant detach).  A tenant belongs to at most one
+    scheduler, so at most one listener is active. *)
+val set_demand_listener : 'a t -> (float -> unit) -> unit
+
+(** Reset the listener to a no-op (on removal from a scheduler). *)
+val clear_demand_listener : 'a t -> unit
+
 (** {1 Grant history (POS_LIMIT)} *)
 
 (** Record tokens granted this round; keeps the last three rounds. *)

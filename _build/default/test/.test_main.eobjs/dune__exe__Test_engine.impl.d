@@ -1,1 +1,1 @@
-test/test_engine.ml: Alcotest Array Gen Heap Int64 List Printf Prng QCheck QCheck_alcotest Reflex_engine Resource Sim Time
+test/test_engine.ml: Alcotest Array Gc Gen Heap Int64 List Printf Prng QCheck QCheck_alcotest Reflex_engine Resource Sim Time Weak

@@ -1,1 +1,1 @@
-test/test_experiments.ml: Ablations Alcotest Fig5 Fig6 List Printf Reflex_experiments String Table2
+test/test_experiments.ml: Ablations Alcotest Common Fig5 Fig6 Fun List Load_gen Printf Reflex_client Reflex_engine Reflex_experiments Reflex_stats Runner Sim String Table2 Time

@@ -1,0 +1,53 @@
+(* Smoke test for the benchmark harness plumbing: drives a tiny sweep
+   through the parallel experiment runner (as `bench/main.exe --jobs N`
+   does for the real figures) and checks the fan-out/merge produces the
+   same table as a serial run.  Wired into `dune runtest` via the
+   `bench-smoke` alias so harness regressions surface without paying for
+   a full figure reproduction. *)
+
+open Reflex_engine
+open Reflex_client
+open Reflex_experiments
+
+let point rate =
+  let w = Common.make_reflex () in
+  let sim = w.Common.sim in
+  let client = Common.client_of w ~tenant:1 () in
+  let until = Time.add (Sim.now sim) (Time.ms 60) in
+  let gen =
+    Load_gen.open_loop sim ~client ~rate ~read_ratio:1.0 ~bytes:4096 ~until ~seed:3L ()
+  in
+  Common.measure_generators sim [ gen ] ~warmup:(Time.ms 10) ~window:(Time.ms 40);
+  (rate, Load_gen.achieved_iops gen /. 1e3, Load_gen.p95_read_us gen)
+
+let table rows =
+  let t =
+    Reflex_stats.Table.create ~title:"bench smoke: tiny open-loop sweep"
+      ~columns:[ "offered KIOPS"; "achieved KIOPS"; "p95 (us)" ]
+  in
+  List.iter
+    (fun (rate, kiops, p95) ->
+      Reflex_stats.Table.add_row t
+        [
+          Reflex_stats.Table.cell_f (rate /. 1e3);
+          Reflex_stats.Table.cell_f ~decimals:6 kiops;
+          Reflex_stats.Table.cell_f ~decimals:6 p95;
+        ])
+    rows;
+  Reflex_stats.Table.render t
+
+let () =
+  let rates = [ 40e3; 80e3; 120e3; 160e3 ] in
+  let t0 = Unix.gettimeofday () in
+  let parallel = table (Runner.map ~jobs:2 point rates) in
+  let serial = table (Runner.map ~jobs:1 point rates) in
+  print_string parallel;
+  Printf.printf "[bench smoke: %d points through the parallel runner in %.1fs]\n"
+    (List.length rates)
+    (Unix.gettimeofday () -. t0);
+  if String.equal parallel serial then print_endline "bench smoke OK: parallel == serial"
+  else begin
+    print_endline "bench smoke FAILED: parallel and serial tables differ";
+    print_string serial;
+    exit 1
+  end

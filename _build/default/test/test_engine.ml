@@ -149,6 +149,89 @@ let prop_heap_sorts =
       let sorted = List.sort Int64.compare (List.map Int64.of_int times) in
       popped = sorted)
 
+let test_heap_pop_if_le_horizon () =
+  let h = Heap.create () in
+  Heap.push h ~time:10L ~seq:0 "a";
+  Heap.push h ~time:20L ~seq:1 "b";
+  Alcotest.(check bool) "min beyond horizon" true (Heap.pop_if_le h ~until:5L = None);
+  Alcotest.(check int) "nothing popped" 2 (Heap.length h);
+  (match Heap.pop_if_le h ~until:10L with
+  | Some (10L, _, "a") -> ()
+  | _ -> Alcotest.fail "expected (10, a) at an inclusive horizon");
+  (match Heap.pop_if_le h ~until:Time.infinity with
+  | Some (20L, _, "b") -> ()
+  | _ -> Alcotest.fail "expected (20, b)");
+  Alcotest.(check bool) "empty heap" true (Heap.pop_if_le h ~until:Time.infinity = None)
+
+(* The reference semantics pop_if_le must match: a peek guard before pop. *)
+let guarded_pop h ~until =
+  match Heap.peek h with
+  | Some (t, _, _) when Time.compare t until <= 0 -> Heap.pop h
+  | _ -> None
+
+let prop_heap_pop_if_le_matches_guarded_pop =
+  QCheck.Test.make ~name:"pop_if_le = peek guard + pop" ~count:300
+    QCheck.(
+      pair
+        (list (int_range 0 1_000))
+        (list_of_size Gen.(int_range 1 64) (int_range 0 1_000)))
+    (fun (times, probes) ->
+      (* Two heaps with identical pushes; probe one with pop_if_le and the
+         other with the two-step reference, at the same horizons. *)
+      let h1 = Heap.create () and h2 = Heap.create () in
+      List.iteri
+        (fun i x ->
+          Heap.push h1 ~time:(Int64.of_int x) ~seq:i i;
+          Heap.push h2 ~time:(Int64.of_int x) ~seq:i i)
+        times;
+      List.for_all
+        (fun u ->
+          let until = Int64.of_int u in
+          Heap.pop_if_le h1 ~until = guarded_pop h2 ~until)
+        probes
+      && Heap.length h1 = Heap.length h2)
+
+let test_heap_clear_releases_values () =
+  let h = Heap.create () in
+  let w = Weak.create 4 in
+  for i = 0 to 3 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Heap.push h ~time:(Int64.of_int i) ~seq:i v
+  done;
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool) "cleared value collected" false (Weak.check w i)
+  done;
+  Alcotest.(check int) "empty after clear" 0 (Heap.length h);
+  Heap.push h ~time:1L ~seq:0 (ref 9);
+  (match Heap.pop h with
+  | Some (1L, 0, { contents = 9 }) -> ()
+  | _ -> Alcotest.fail "heap unusable after clear")
+
+let test_heap_pop_blanks_slots () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Heap.push h ~time:(Int64.of_int i) ~seq:i v
+  done;
+  for _ = 0 to 7 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  (* Draining the heap blanks vacated slots; only the final pop may leave
+     one stale reference in slot 0. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d live after drain (at most 1)" !live)
+    true (!live <= 1)
+
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -217,6 +300,29 @@ let test_sim_run_advances_clock_to_until () =
   ignore (Sim.at sim (Time.us 1) (fun () -> ()));
   ignore (Sim.run ~until:(Time.ms 1) sim);
   Alcotest.(check int64) "clock hits until" (Time.ms 1) (Sim.now sim)
+
+let test_sim_every_nonpositive_raises () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "zero period" (Invalid_argument "Sim.every: non-positive period")
+    (fun () -> Sim.every sim ~every:Time.zero ~until:(Time.us 10) (fun _ -> ()))
+
+let test_sim_every_until_before_first_tick () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.every sim ~every:(Time.us 10) ~until:(Time.us 5) (fun _ -> incr ticks);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "no ticks when until < first tick" 0 !ticks;
+  Alcotest.(check int) "nothing left pending" 0 (Sim.pending sim)
+
+let test_sim_every_overflow_guard () =
+  (* A period of Time.infinity: the first tick lands exactly at infinity;
+     computing the second would wrap int64.  The guard must stop the chain
+     instead of raising "scheduling in the past" from inside the loop. *)
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.every sim ~every:Time.infinity ~until:Time.infinity (fun _ -> incr ticks);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "one tick, then the wrap guard stops the chain" 1 !ticks
 
 (* ------------------------------------------------------------------ *)
 (* Resource                                                           *)
@@ -334,7 +440,11 @@ let suite =
       [
         Alcotest.test_case "ordering" `Quick test_heap_ordering;
         Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "pop_if_le horizon" `Quick test_heap_pop_if_le_horizon;
+        Alcotest.test_case "clear releases values" `Quick test_heap_clear_releases_values;
+        Alcotest.test_case "pop blanks vacated slots" `Quick test_heap_pop_blanks_slots;
         qcheck prop_heap_sorts;
+        qcheck prop_heap_pop_if_le_matches_guarded_pop;
       ] );
     ( "sim",
       [
@@ -345,6 +455,11 @@ let suite =
         Alcotest.test_case "past scheduling raises" `Quick test_sim_past_raises;
         Alcotest.test_case "periodic every" `Quick test_sim_every;
         Alcotest.test_case "clock advances to until" `Quick test_sim_run_advances_clock_to_until;
+        Alcotest.test_case "every rejects non-positive period" `Quick
+          test_sim_every_nonpositive_raises;
+        Alcotest.test_case "every with until before first tick" `Quick
+          test_sim_every_until_before_first_tick;
+        Alcotest.test_case "every overflow guard" `Quick test_sim_every_overflow_guard;
       ] );
     ( "resource",
       [

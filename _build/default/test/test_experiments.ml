@@ -2,11 +2,84 @@
    experiments end-to-end and assert the paper's qualitative claims hold
    (so a refactor that silently breaks a reproduction fails the suite). *)
 
+open Reflex_engine
+open Reflex_client
 open Reflex_experiments
 
 let find_row rows pred = match List.find_opt pred rows with
   | Some r -> r
   | None -> Alcotest.fail "expected row missing"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runner                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_ordered_merge () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "map merges in input order"
+    (List.map (fun x -> x * x) xs)
+    (Runner.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "concat_map merges in input order"
+    (List.concat_map (fun x -> [ x; -x ]) xs)
+    (Runner.concat_map ~jobs:3 (fun x -> [ x; -x ]) xs);
+  Alcotest.(check (list int)) "empty input" [] (Runner.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "more jobs than points" [ 2 ] (Runner.map ~jobs:8 succ [ 1 ])
+
+let test_runner_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised at the call site" (Failure "boom")
+    (fun () ->
+      ignore (Runner.map ~jobs:4 (fun x -> if x = 37 then failwith "boom" else x)
+                (List.init 64 Fun.id)))
+
+(* One cheap sweep point: a fresh deterministically-seeded world, a short
+   open-loop run, a handful of derived metrics. *)
+let mini_point rate =
+  let w = Common.make_reflex () in
+  let sim = w.Common.sim in
+  let client = Common.client_of w ~tenant:1 () in
+  let until = Time.add (Sim.now sim) (Time.ms 80) in
+  let gen =
+    Load_gen.open_loop sim ~client ~rate ~read_ratio:0.8 ~bytes:4096 ~until ~seed:7L ()
+  in
+  Common.measure_generators sim [ gen ] ~warmup:(Time.ms 10) ~window:(Time.ms 50);
+  (rate, Load_gen.achieved_iops gen, Load_gen.p95_read_us gen, Load_gen.mean_read_us gen)
+
+let mini_table rows =
+  let t =
+    Reflex_stats.Table.create ~title:"runner determinism probe"
+      ~columns:[ "rate"; "achieved"; "p95"; "mean" ]
+  in
+  List.iter
+    (fun (r, a, p, m) ->
+      Reflex_stats.Table.add_row t
+        [
+          Reflex_stats.Table.cell_f r;
+          Reflex_stats.Table.cell_f ~decimals:6 a;
+          Reflex_stats.Table.cell_f ~decimals:6 p;
+          Reflex_stats.Table.cell_f ~decimals:6 m;
+        ])
+    rows;
+  Reflex_stats.Table.render t
+
+(* The tentpole guarantee: fanning sweep points across domains must
+   produce tables byte-identical to a serial run.  Each point owns its
+   world, so only the merge order could differ — and the runner merges by
+   input index. *)
+let test_runner_parallel_matches_serial () =
+  let rates = [ 50e3; 100e3; 150e3; 200e3; 250e3; 300e3 ] in
+  let serial = Runner.map ~jobs:1 mini_point rates in
+  let parallel = Runner.map ~jobs:4 mini_point rates in
+  List.iter2
+    (fun (r1, a1, p1, m1) (r2, a2, p2, m2) ->
+      Alcotest.(check (float 0.0)) "rate" r1 r2;
+      Alcotest.(check (float 0.0)) "achieved IOPS bit-identical" a1 a2;
+      Alcotest.(check (float 0.0)) "p95 bit-identical" p1 p2;
+      Alcotest.(check (float 0.0)) "mean bit-identical" m1 m2)
+    serial parallel;
+  Alcotest.(check string) "rendered table cells identical" (mini_table serial)
+    (mini_table parallel)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                            *)
@@ -115,6 +188,13 @@ let test_ablation_batching () =
 
 let suite =
   [
+    ( "runner",
+      [
+        Alcotest.test_case "ordered merge" `Quick test_runner_ordered_merge;
+        Alcotest.test_case "exception propagation" `Quick test_runner_exception_propagates;
+        Alcotest.test_case "parallel = serial (bit-identical)" `Quick
+          test_runner_parallel_matches_serial;
+      ] );
     ("table2", [ Alcotest.test_case "access-path ordering & +21us" `Slow test_table2_ordering ]);
     ("fig5", [ Alcotest.test_case "isolation claims" `Slow test_fig5_claims ]);
     ("fig6a", [ Alcotest.test_case "linear core scaling" `Slow test_fig6a_linear_scaling ]);

@@ -356,6 +356,114 @@ let test_remove_tenant () =
   Alcotest.check_raises "enqueue to removed tenant" Not_found (fun () ->
       Scheduler.enqueue sched ~tenant_id:1 ~cost:1.0 ())
 
+let test_remove_tenant_preserves_order_and_cursor () =
+  (* Remove BE tenants from the middle of a rotating set: the compaction
+     must preserve insertion order and the cursor must stay within the
+     shrunk set so round-robin service continues over the survivors. *)
+  let global = Global_bucket.create ~n_threads:2 in
+  let sched = Scheduler.create ~global ~thread_id:0 () in
+  for id = 1 to 5 do
+    Scheduler.add_tenant sched (Tenant.create ~id ~slo:(Slo.best_effort ()) ~token_rate:0.0)
+  done;
+  (* Advance the cursor near the end of the set... *)
+  for i = 1 to 4 do
+    ignore (Scheduler.schedule sched ~now:(Time.us (i * 100)) ~submit:(fun _ -> ()))
+  done;
+  (* ...then shrink the set below it. *)
+  Scheduler.remove_tenant sched 3;
+  Scheduler.remove_tenant sched 5;
+  Scheduler.remove_tenant sched 1;
+  Alcotest.(check (list int)) "order preserved" [ 2; 4 ]
+    (List.map Tenant.id (Scheduler.tenants sched));
+  (* Survivors still rotate: with one token per round, both must win. *)
+  let winners = ref [] in
+  for i = 5 to 14 do
+    Global_bucket.add global 1.0;
+    List.iter
+      (fun id ->
+        match Scheduler.find_tenant sched id with
+        | Some t when Tenant.demand t = 0.0 -> Scheduler.enqueue sched ~tenant_id:id ~cost:1.0 ()
+        | _ -> ())
+      [ 2; 4 ];
+    ignore
+      (Scheduler.schedule sched ~now:(Time.us (i * 100))
+         ~submit:(fun s -> winners := s.Scheduler.tenant_id :: !winners))
+  done;
+  let w2 = List.length (List.filter (( = ) 2) !winners) in
+  let w4 = List.length (List.filter (( = ) 4) !winners) in
+  Alcotest.(check bool)
+    (Printf.sprintf "round-robin over survivors (%d vs %d)" w2 w4)
+    true
+    (w2 >= 3 && w4 >= 3);
+  (* Removing everything resets cleanly; unknown ids are a no-op. *)
+  Scheduler.remove_tenant sched 2;
+  Scheduler.remove_tenant sched 4;
+  Scheduler.remove_tenant sched 99;
+  Alcotest.(check int) "empty" 0 (Scheduler.tenant_count sched);
+  ignore (Scheduler.schedule sched ~now:(Time.us 10_000) ~submit:(fun _ -> ()))
+
+let recomputed_backlog sched =
+  List.fold_left (fun acc t -> acc +. Tenant.demand t) 0.0 (Scheduler.tenants sched)
+
+let test_backlog_aggregate_tracks_demand () =
+  let _, sched = new_sched () in
+  Scheduler.add_tenant sched (Tenant.create ~id:1 ~slo:lc_slo ~token_rate:280_000.0);
+  Scheduler.add_tenant sched (Tenant.create ~id:2 ~slo:(Slo.best_effort ()) ~token_rate:0.0);
+  let check msg =
+    Alcotest.(check (float 1e-6)) msg (recomputed_backlog sched) (Scheduler.backlog sched)
+  in
+  check "empty";
+  Scheduler.enqueue sched ~tenant_id:1 ~cost:1.0 ();
+  Scheduler.enqueue sched ~tenant_id:2 ~cost:10.0 ();
+  check "after enqueues";
+  Alcotest.(check (float 1e-6)) "sums costs" 11.0 (Scheduler.backlog sched);
+  (* Detach-style direct drain, bypassing the scheduler: the demand
+     listener keeps the aggregate honest. *)
+  (match Scheduler.find_tenant sched 2 with
+  | Some t -> ignore (Tenant.dequeue t)
+  | None -> Alcotest.fail "tenant 2 missing");
+  check "after direct dequeue";
+  ignore (Scheduler.schedule sched ~now:(Time.us 100) ~submit:(fun _ -> ()));
+  ignore (Scheduler.schedule sched ~now:(Time.us 200) ~submit:(fun _ -> ()));
+  check "after scheduling rounds";
+  Scheduler.enqueue sched ~tenant_id:1 ~cost:2.5 ();
+  Scheduler.remove_tenant sched 1;
+  check "after removing a tenant with queued demand";
+  Alcotest.(check (float 1e-6)) "zero once queues empty" 0.0 (Scheduler.backlog sched)
+
+(* The O(1) aggregate equals the recomputed sum under any interleaving of
+   enqueues, direct drains, scheduling rounds, removals and re-adds. *)
+let prop_backlog_aggregate_consistent =
+  QCheck.Test.make ~name:"backlog aggregate matches recomputed demand" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 80) (pair (int_range 0 5) (int_range 1 3)))
+    (fun ops ->
+      let global = Global_bucket.create ~n_threads:2 in
+      let sched = Scheduler.create ~global ~thread_id:0 () in
+      let slo_of id = if id = 3 then Slo.best_effort () else lc_slo in
+      for id = 1 to 3 do
+        Scheduler.add_tenant sched (Tenant.create ~id ~slo:(slo_of id) ~token_rate:50_000.0)
+      done;
+      let round = ref 0 in
+      List.iter
+        (fun (op, id) ->
+          match op with
+          | 0 | 1 -> (
+            try Scheduler.enqueue sched ~tenant_id:id ~cost:(float_of_int (op + 1)) ()
+            with Not_found -> ())
+          | 2 -> (
+            match Scheduler.find_tenant sched id with
+            | Some t -> ignore (Tenant.dequeue t)
+            | None -> ())
+          | 3 ->
+            incr round;
+            ignore (Scheduler.schedule sched ~now:(Time.us (!round * 100)) ~submit:(fun _ -> ()))
+          | 4 -> Scheduler.remove_tenant sched id
+          | _ ->
+            if Scheduler.find_tenant sched id = None then
+              Scheduler.add_tenant sched (Tenant.create ~id ~slo:(slo_of id) ~token_rate:50_000.0))
+        ops;
+      abs_float (Scheduler.backlog sched -. recomputed_backlog sched) < 1e-6)
+
 (* Token conservation: across any demand pattern, the total cost submitted
    never exceeds tokens generated (LC rates + BE rates) plus the bounded
    LC deficit allowance. *)
@@ -492,8 +600,13 @@ let suite =
         Alcotest.test_case "BE round-robin rotates" `Quick test_be_round_robin_rotates;
         Alcotest.test_case "cross-thread token exchange" `Quick test_multi_thread_token_exchange;
         Alcotest.test_case "tenant removal" `Quick test_remove_tenant;
+        Alcotest.test_case "removal preserves order & cursor" `Quick
+          test_remove_tenant_preserves_order_and_cursor;
+        Alcotest.test_case "backlog aggregate tracks demand" `Quick
+          test_backlog_aggregate_tracks_demand;
         qcheck prop_token_conservation;
         qcheck prop_be_never_negative;
         qcheck prop_per_tenant_fifo;
+        qcheck prop_backlog_aggregate_consistent;
       ] );
   ]

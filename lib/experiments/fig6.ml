@@ -63,7 +63,7 @@ let cores_point ~mode ~cores =
 
 let run_cores ?(mode = Common.Quick) () =
   let counts = Common.scale_points mode [ 1; 2; 4; 8; 12 ] [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ] in
-  List.map (fun cores -> cores_point ~mode ~cores) counts
+  Runner.map (fun cores -> cores_point ~mode ~cores) counts
 
 (* ---------------- Figure 6b: tenant scaling ---------------- *)
 
@@ -125,7 +125,7 @@ let run_tenants ?(mode = Common.Quick) () =
         (2, 2500); (2, 5000); (2, 6000); (4, 5000); (4, 8000); (4, 10000);
       ]
   in
-  List.map (fun (server_cores, tenants) -> tenants_point ~mode ~server_cores ~tenants) sweep
+  Runner.map (fun (server_cores, tenants) -> tenants_point ~mode ~server_cores ~tenants) sweep
 
 (* ---------------- Figure 6c: connection scaling ---------------- *)
 
@@ -183,7 +183,7 @@ let run_conns ?(mode = Common.Quick) () =
         (1000, 100); (1000, 500); (1000, 850);
       ]
   in
-  List.map (fun (iops_per_conn, conns) -> conns_point ~mode ~iops_per_conn ~conns) sweep
+  Runner.map (fun (iops_per_conn, conns) -> conns_point ~mode ~iops_per_conn ~conns) sweep
 
 (* ---------------- tables ---------------- *)
 

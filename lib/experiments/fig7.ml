@@ -62,20 +62,20 @@ let run_fio ?(mode = Common.Quick) () =
   let qds = Common.scale_points mode [ 1; 4; 16; 64 ] [ 1; 2; 4; 8; 16; 32; 64 ] in
   (* Thread counts from the paper: 5 local, 3 iSCSI, 6 ReFlex. *)
   let setups = [ (`Local, 5); (`Iscsi, 3); (`Reflex, 6) ] in
-  List.concat_map
-    (fun (kind, threads) ->
-      List.map
-        (fun qd ->
-          let result = ref None in
-          with_path kind (fun sim path ->
-              Fio.run sim path ~threads ~qd ~bytes:4096 ~duration () (fun r -> result := Some r);
-              ignore (Sim.run sim));
-          match !result with
-          | Some r ->
-            { fpath = path_name kind; threads; qd; mbps = r.Fio.mbps; p95_us = r.Fio.p95_us }
-          | None -> failwith "fio did not complete")
-        qds)
-    setups
+  (* One fresh world per (path kind, qd) point — fan out. *)
+  let points =
+    List.concat_map (fun (kind, threads) -> List.map (fun qd -> (kind, threads, qd)) qds) setups
+  in
+  Runner.map
+    (fun (kind, threads, qd) ->
+      let result = ref None in
+      with_path kind (fun sim path ->
+          Fio.run sim path ~threads ~qd ~bytes:4096 ~duration () (fun r -> result := Some r);
+          ignore (Sim.run sim));
+      match !result with
+      | Some r -> { fpath = path_name kind; threads; qd; mbps = r.Fio.mbps; p95_us = r.Fio.p95_us }
+      | None -> failwith "fio did not complete")
+    points
 
 (* ---------------- 7b / 7c: application slowdowns ---------------- *)
 
@@ -89,7 +89,9 @@ let app_rows ~benches ~run_bench =
     | Some e -> Time.to_float_ms e
     | None -> failwith "benchmark did not complete"
   in
-  List.concat_map
+  (* Parallelize across benchmarks; within a benchmark the local run is
+     measured once and shared by both remote paths' slowdown rows. *)
+  Runner.concat_map
     (fun (name, bench) ->
       let local_ms = elapsed `Local bench in
       List.map
