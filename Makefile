@@ -1,0 +1,33 @@
+# Developer entry points.  `make check` is the CI gate: full build, the
+# whole alcotest suite, and the bench smoke (parallel-runner sanity +
+# telemetry on/off overhead) with its numbers recorded in
+# BENCH_SMOKE.json for trend tracking.
+
+.PHONY: all build test bench-smoke check trace bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench-smoke: build
+	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
+
+check: build
+	dune runtest
+	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
+
+# Canonical telemetry scenario: per-request latency breakdowns, SLO
+# audit, scheduler decision log, Chrome trace JSON.
+trace: build
+	dune exec bin/reflex_sim.exe -- trace
+
+# Full figure reproduction + microbenchmarks (quick mode).
+bench: build
+	dune exec bench/main.exe -- --json BENCH_$$(date +%F).json
+
+clean:
+	dune clean

@@ -92,6 +92,50 @@ let experiments =
     );
   ]
 
+(* ---------------- Telemetry overhead ---------------- *)
+
+(* Wall time of a fixed single-tenant sweep with the observability layer
+   disabled vs enabled.  The disabled path must be free (the record
+   sites are compiled in, guarded by one immutable bool), so this pins
+   the enabled cost and double-checks the simulated results are
+   bit-identical either way. *)
+let telemetry_overhead_results : (float * float * float) option ref = ref None
+
+let telemetry_overhead () =
+  let open Reflex_engine in
+  let open Reflex_client in
+  let open Reflex_telemetry in
+  let point ~telemetry rate =
+    let telemetry = if telemetry then Telemetry.create () else Telemetry.disabled in
+    let w = Common.make_reflex ~telemetry () in
+    let sim = w.Common.sim in
+    let client = Common.client_of w ~tenant:1 () in
+    let until = Time.add (Sim.now sim) (Time.ms 60) in
+    let gen =
+      Load_gen.open_loop sim ~client ~rate ~read_ratio:1.0 ~bytes:4096 ~until ~seed:3L ()
+    in
+    Common.measure_generators sim [ gen ] ~warmup:(Time.ms 10) ~window:(Time.ms 40);
+    Load_gen.achieved_iops gen
+  in
+  let rates = [ 40e3; 80e3; 120e3; 160e3 ] in
+  let reps = 3 in
+  let run ~telemetry =
+    let t0 = Unix.gettimeofday () in
+    let r = ref [] in
+    for _ = 1 to reps do
+      r := List.map (point ~telemetry) rates
+    done;
+    (Unix.gettimeofday () -. t0, !r)
+  in
+  let off_s, off_iops = run ~telemetry:false in
+  let on_s, on_iops = run ~telemetry:true in
+  if not (List.for_all2 Float.equal off_iops on_iops) then
+    print_endline "WARNING: telemetry perturbed simulated IOPS";
+  let overhead_pct = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
+  telemetry_overhead_results := Some (off_s, on_s, overhead_pct);
+  Printf.printf "== telemetry overhead ==\noff %.2fs / on %.2fs (%dx%d points): %+.1f%%\n\n%!"
+    off_s on_s reps (List.length rates) overhead_pct
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
 let micro_benchmarks () =
@@ -204,6 +248,12 @@ let write_json path =
         (if i = List.length exps - 1 then "" else ","))
     exps;
   Printf.fprintf oc "  ],\n";
+  (match !telemetry_overhead_results with
+  | Some (off_s, on_s, pct) ->
+    Printf.fprintf oc
+      "  \"telemetry\": {\"off_wall_s\": %.3f, \"on_wall_s\": %.3f, \"overhead_pct\": %.2f},\n"
+      off_s on_s pct
+  | None -> ());
   Printf.fprintf oc "  \"micros\": [\n";
   let micros = List.rev !micro_results in
   List.iteri
@@ -224,5 +274,6 @@ let () =
     !jobs
     (if !jobs = 1 then "" else "s");
   List.iter (fun (id, f) -> timed id (fun () -> f !mode)) experiments;
+  if enabled "telemetry" then telemetry_overhead ();
   if (not !skip_micro) && enabled "micro" then micro_benchmarks ();
   match !json_path with Some p -> write_json p | None -> ()

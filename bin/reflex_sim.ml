@@ -1,11 +1,13 @@
 (* Command-line driver: run any paper experiment by id.
 
      reflex_sim list
-     reflex_sim run fig5 [--full]
-     reflex_sim run all  [--full]                                    *)
+     reflex_sim run fig5 [--full] [--telemetry] [--trace-out FILE]
+     reflex_sim run all  [--full]
+     reflex_sim trace    [--full] [--out FILE]                       *)
 
 open Cmdliner
 open Reflex_experiments
+open Reflex_telemetry
 
 let experiments : (string * string * (Common.mode -> unit)) list =
   [
@@ -55,34 +57,109 @@ let experiments : (string * string * (Common.mode -> unit)) list =
 let list_cmd =
   let doc = "List available experiments." in
   let run () =
-    List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments
+    List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments;
+    Printf.printf "%-8s %s\n" "trace"
+      "canonical telemetry scenario (see 'reflex_sim trace --help')"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* Print the full telemetry debrief for one world: latency breakdowns,
+   component aggregates, SLO audit, scheduler decisions, final metrics. *)
+let print_telemetry_reports tel =
+  print_newline ();
+  print_string (Trace_export.breakdown_report tel);
+  print_newline ();
+  print_string (Trace_export.component_report tel);
+  print_newline ();
+  print_string (Slo_audit.report tel);
+  print_newline ();
+  print_string (Telemetry.decisions_report tel);
+  print_newline ();
+  print_string (Telemetry.metrics_report tel)
+
+let export_trace tel path =
+  Trace_export.write_chrome_json tel path;
+  Printf.printf "\nChrome trace written to %s (load in about://tracing or Perfetto)\n" path
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
 
 let run_cmd =
   let doc = "Run one experiment (or 'all') and print its table(s)." in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"experiment id")
   in
-  let full_arg =
-    Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
+  let telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "enable the telemetry layer (lifecycle tracing, metrics sampling, scheduler \
+             decision log) on every simulated world and print the observability reports \
+             for the last world after the run")
   in
-  let run id full =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace_event JSON of the last world's request lifecycle spans \
+             to $(docv); implies $(b,--telemetry) and forces a serial run (jobs=1) so \
+             'last world' is well defined")
+  in
+  let run id full telemetry trace_out =
+    let telemetry = telemetry || trace_out <> None in
+    if telemetry then Common.set_default_telemetry true;
+    if trace_out <> None then Runner.set_default_jobs 1;
     let mode = if full then Common.Full else Common.Quick in
+    let finish () =
+      if telemetry then
+        match !Common.last_telemetry with
+        | None -> prerr_endline "warning: no telemetry-enabled world was built"
+        | Some tel ->
+          print_telemetry_reports tel;
+          Option.iter (export_trace tel) trace_out
+    in
     if id = "all" then begin
       List.iter (fun (_, _, f) -> f mode) experiments;
+      finish ();
       `Ok ()
     end
     else
       match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
       | Some (_, _, f) ->
         f mode;
+        finish ();
         `Ok ()
       | None -> `Error (false, "unknown experiment: " ^ id ^ " (try 'list')")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id_arg $ full_arg))
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ id_arg $ full_arg $ telemetry_arg $ trace_out_arg))
+
+let trace_cmd =
+  let doc =
+    "Run the canonical telemetry scenario (2 cores, 2 LC tenants with 200us/500us SLOs, \
+     2 BE write floods) with full lifecycle tracing, and emit per-request latency \
+     breakdowns, the component summary, the SLO audit, the scheduler decision log, the \
+     metrics report and a Chrome trace_event JSON."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "reflex_trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"where to write the Chrome trace JSON")
+  in
+  let run full out =
+    let mode = if full then Common.Full else Common.Quick in
+    let { Tracing.telemetry = tel; rows } = Tracing.run ~mode () in
+    Reflex_stats.Table.print (Tracing.to_table rows);
+    print_telemetry_reports tel;
+    export_trace tel out
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ full_arg $ out_arg)
 
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
   let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))

@@ -1,6 +1,7 @@
 open Reflex_engine
 open Reflex_net
 open Reflex_proto
+open Reflex_telemetry
 
 type t = {
   sim : Sim.t;
@@ -13,6 +14,11 @@ type t = {
   mutable register_k : (Message.status -> unit) option;
   mutable unregister_k : (unit -> unit) option;
   mutable handle : int option;
+  (* Lifecycle-span sink; [tel_on] copies its immutable enabled bit so
+     the issue/complete hot paths pay one boolean test when tracing is
+     off. *)
+  tel : Telemetry.t;
+  tel_on : bool;
 }
 
 let dispatch t msg =
@@ -43,6 +49,12 @@ let dispatch t msg =
     match Hashtbl.find_opt t.outstanding req_id with
     | Some (t0, k) ->
       Hashtbl.remove t.outstanding req_id;
+      (if t.tel_on then
+         match t.handle with
+         | Some tenant ->
+           Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant ~req_id
+             Telemetry.Stage.Client_complete
+         | None -> ());
       k status ~latency:(Time.diff (Sim.now t.sim) t0)
     | None -> ())
   | Message.Register _ | Message.Unregister _ | Message.Read_req _ | Message.Write_req _
@@ -52,11 +64,12 @@ let dispatch t msg =
        Server-to-client stream never carries requests; ignore. *)
     ()
 
-let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client") () =
+let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client")
+    ?(telemetry = Telemetry.disabled) () =
   let client_host =
     match host with Some h -> h | None -> Fabric.add_host fabric ~name ~stack
   in
-  let conn = Tcp_conn.connect fabric ~client:client_host ~server:server_host in
+  let conn = Tcp_conn.connect ~telemetry fabric ~client:client_host ~server:server_host in
   let t =
     {
       sim;
@@ -69,6 +82,8 @@ let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client") () =
       register_k = None;
       unregister_k = None;
       handle = None;
+      tel = telemetry;
+      tel_on = Telemetry.enabled telemetry;
     }
   in
   accept conn;
@@ -100,6 +115,9 @@ let io t ~kind ~lba ~len k =
     let req_id = t.next_req in
     t.next_req <- Int64.add req_id 1L;
     Hashtbl.replace t.outstanding req_id (Sim.now t.sim, k);
+    if t.tel_on then
+      Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:handle ~req_id
+        Telemetry.Stage.Client_submit;
     let msg =
       match kind with
       | `Read -> Message.Read_req { handle; req_id; lba; len }

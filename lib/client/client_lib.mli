@@ -29,6 +29,10 @@ val connect :
   stack:Stack_model.t ->
   ?host:Fabric.host ->
   ?name:string ->
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  (* observability sink, default disabled; when enabled the client
+     records the [Client_submit]/[Client_complete] lifecycle spans and
+     the connection counts wire messages *)
   unit ->
   t
 

@@ -1,6 +1,7 @@
 open Reflex_engine
 open Reflex_flash
 open Reflex_qos
+open Reflex_telemetry
 
 type 'a done_req = { payload : 'a; kind : Io_op.kind; nvme_latency : Time.t }
 
@@ -28,6 +29,14 @@ type 'a t = {
   mutable completed : int;
   mutable tokens_spent : float;
   mutable rounds : int;
+  (* Observability.  [tel_on] copies the telemetry instance's immutable
+     enabled bit: with telemetry off every span site below costs exactly
+     one boolean test and allocates nothing, preserving the
+     allocation-free hot cycle.  [trace_id] projects the opaque payload
+     to the request id used for span identity. *)
+  tel : Telemetry.t;
+  tel_on : bool;
+  trace_id : 'a -> int64;
 }
 
 let thread_id t = t.thread_id
@@ -91,7 +100,10 @@ and run_cycle t =
             Cost_model.request_cost t.cost_model ~kind:p.p_kind ~bytes:p.p_bytes
               ~read_only:(Nvme_model.read_only_mode t.device)
           in
-          Scheduler.enqueue t.scheduler ~tenant_id:p.p_tenant ~cost p
+          Scheduler.enqueue t.scheduler ~tenant_id:p.p_tenant ~cost p;
+          if t.tel_on then
+            Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:p.p_tenant
+              ~req_id:(t.trace_id p.p_payload) Telemetry.Stage.Sched_enqueue
         | None -> t.reroute ~tenant_id:p.p_tenant ~kind:p.p_kind ~bytes:p.p_bytes p.p_payload
       done;
       let submissions = ref 0 in
@@ -104,10 +116,22 @@ and run_cycle t =
           Hashtbl.replace t.outstanding cookie pend;
           t.tokens_spent <- t.tokens_spent +. s.Scheduler.cost;
           incr submissions;
+          if t.tel_on then
+            Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
+              ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_submit;
           true
         | `Full -> false
       in
-      let submit_to_qp s = if not (try_submit s) then Queue.add s t.deferred in
+      let submit_to_qp s =
+        (* The scheduler released this request: its tokens are granted
+           and spent, whether or not the SQ has room right now. *)
+        if t.tel_on then begin
+          let pend = s.Scheduler.payload in
+          Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
+            ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Granted
+        end;
+        if not (try_submit s) then Queue.add s t.deferred
+      in
       (* Submissions deferred on a full SQ go first — their tokens are
          already spent.  Stop at the first refusal: the SQ is full again. *)
       let rec retry_deferred () =
@@ -137,6 +161,9 @@ and run_step2 t =
           | Some pend ->
             Hashtbl.remove t.outstanding c.Queue_pair.cookie;
             t.completed <- t.completed + 1;
+            if t.tel_on then
+              Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
+                ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_complete;
             t.respond
               {
                 payload = pend.p_payload;
@@ -168,9 +195,10 @@ and finish_cycle t =
 let create sim ~thread_id ~qp ~device ~cost_model ~global ?(costs = Costs.default)
     ?neg_limit ?donate_fraction ?notify_control_plane
     ?(reroute = fun ~tenant_id ~kind:_ ~bytes:_ _ -> ignore tenant_id; raise Not_found)
-    ~respond () =
+    ?(telemetry = Telemetry.disabled) ?(trace_id = fun _ -> 0L) ~respond () =
   let scheduler =
-    Scheduler.create ?neg_limit ?donate_fraction ~global ~thread_id ?notify_control_plane ()
+    Scheduler.create ?neg_limit ?donate_fraction ~global ~thread_id ?notify_control_plane
+      ~telemetry ()
   in
   let t =
     {
@@ -195,8 +223,25 @@ let create sim ~thread_id ~qp ~device ~cost_model ~global ?(costs = Costs.defaul
       completed = 0;
       tokens_spent = 0.0;
       rounds = 0;
+      tel = telemetry;
+      tel_on = Telemetry.enabled telemetry;
+      trace_id;
     }
   in
+  if t.tel_on then begin
+    let p = Printf.sprintf "core/thread%d/" thread_id in
+    Telemetry.register_gauge telemetry (p ^ "rx_ring") (fun () ->
+        float_of_int (Queue.length t.rx_ring));
+    Telemetry.register_gauge telemetry (p ^ "outstanding") (fun () ->
+        float_of_int (Hashtbl.length t.outstanding));
+    Telemetry.register_gauge telemetry (p ^ "deferred") (fun () ->
+        float_of_int (Queue.length t.deferred));
+    Telemetry.register_gauge telemetry (p ^ "rounds") (fun () -> float_of_int t.rounds);
+    Telemetry.register_gauge telemetry (p ^ "completed") (fun () -> float_of_int t.completed);
+    Telemetry.register_gauge telemetry (p ^ "tokens_spent") (fun () -> t.tokens_spent);
+    Telemetry.register_gauge telemetry (p ^ "backlog") (fun () -> Scheduler.backlog t.scheduler);
+    Telemetry.register_gauge telemetry (p ^ "util") (fun () -> Resource.utilization t.core)
+  end;
   (* A completion landing while the thread is idle is noticed by its next
      poll iteration. *)
   Queue_pair.set_completion_hook qp (fun () -> kick t);
@@ -218,6 +263,9 @@ let detach_tenant t ~id =
 
 let receive t ~tenant_id ~kind ~bytes payload =
   if not (has_tenant t ~id:tenant_id) then raise Not_found;
+  if t.tel_on then
+    Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:tenant_id ~req_id:(t.trace_id payload)
+      Telemetry.Stage.Server_rx;
   Queue.add { p_payload = payload; p_kind = kind; p_bytes = bytes; p_tenant = tenant_id }
     t.rx_ring;
   kick t

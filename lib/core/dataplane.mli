@@ -44,6 +44,12 @@ val create :
   (* where to send receive-ring entries whose tenant has been rebalanced
      away before they were parsed (paper §3.1: rebalancing must not drop
      requests); default re-raises [Not_found] *)
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  (* observability sink, default disabled: every span/gauge site then
+     costs a single boolean test and the cycle stays allocation-free *)
+  ?trace_id:('a -> int64) ->
+  (* projects the opaque payload to the request id used for lifecycle
+     spans (identity is the (tenant, req_id) pair); default [fun _ -> 0L] *)
   respond:('a done_req -> unit) ->
   unit ->
   'a t

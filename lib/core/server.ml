@@ -3,8 +3,15 @@ open Reflex_flash
 open Reflex_net
 open Reflex_proto
 open Reflex_qos
+open Reflex_telemetry
 
-type inflight = { conn : Message.t Tcp_conn.t; req_id : int64; bytes : int; tenant : int }
+type inflight = {
+  conn : Message.t Tcp_conn.t;
+  req_id : int64;
+  bytes : int;
+  tenant : int;
+  t_arrive : Time.t; (* server-side arrival, for per-tenant latency *)
+}
 
 (* Barrier state (§4.1 extension).  Per tenant: the number of I/Os inside
    the server, the armed barrier (if any), and the FIFO of work buffered
@@ -35,6 +42,8 @@ type t = {
   deficit_notes : (int, int ref) Hashtbl.t; (* NEG_LIMIT hits per tenant *)
   mutable fleet_ro : bool;
   mutable completed : int;
+  tel : Telemetry.t;
+  tel_on : bool;
 }
 
 let gate_of t tenant =
@@ -66,7 +75,7 @@ let release_gate g =
   | Some _ | None -> ()
 
 let respond t done_req =
-  let { conn; req_id; bytes; tenant } = done_req.Dataplane.payload in
+  let { conn; req_id; bytes; tenant; t_arrive } = done_req.Dataplane.payload in
   t.completed <- t.completed + 1;
   (match Hashtbl.find_opt t.tenant_done tenant with
   | Some r -> incr r
@@ -77,6 +86,11 @@ let respond t done_req =
     | Io_op.Write -> Message.Write_resp { req_id; status = Message.Ok }
   in
   Tcp_conn.send_to_client conn ~size:(Codec.encoded_size msg) msg;
+  if t.tel_on then begin
+    let now = Sim.now t.sim in
+    Telemetry.span t.tel ~now ~tenant ~req_id Telemetry.Stage.Tx_resp;
+    Telemetry.record_tenant_latency t.tel ~tenant (Time.diff now t_arrive)
+  end;
   let g = gate_of t tenant in
   g.outstanding <- g.outstanding - 1;
   release_gate g
@@ -101,11 +115,11 @@ let reroute t ~tenant_id ~kind ~bytes payload =
 
 let create sim ~fabric ?(profile = Device_profile.device_a) ?(n_threads = 1) ?max_threads
     ?(costs = Costs.default) ?acl ?token_rate_fn ?(qos = true) ?neg_limit ?donate_fraction
-    ?cost_model ?seed () =
+    ?cost_model ?seed ?(telemetry = Telemetry.disabled) () =
   let max_threads = Option.value max_threads ~default:n_threads in
   if n_threads < 1 || n_threads > max_threads then invalid_arg "Server.create: thread counts";
   let seed = Option.value seed ~default:0x5EF1E45EEDL in
-  let device = Nvme_model.create sim ~profile ~prng:(Prng.create seed) in
+  let device = Nvme_model.create ~telemetry sim ~profile ~prng:(Prng.create seed) in
   let cost_model = Option.value cost_model ~default:(Cost_model.of_profile profile) in
   let control_plane = Control_plane.create ?token_rate_fn ~profile ~cost_model () in
   let acl = match acl with Some a -> a | None -> Acl.create_permissive () in
@@ -128,6 +142,8 @@ let create sim ~fabric ?(profile = Device_profile.device_a) ?(n_threads = 1) ?ma
                 ~notify_control_plane:(fun tenant -> note_deficit (Lazy.force t) ~tenant)
                 ~reroute:(fun ~tenant_id ~kind ~bytes payload ->
                   reroute (Lazy.force t) ~tenant_id ~kind ~bytes payload)
+                ~telemetry
+                ~trace_id:(fun p -> p.req_id)
                 ~respond:(fun d -> respond (Lazy.force t) d)
                 ());
         global;
@@ -140,6 +156,8 @@ let create sim ~fabric ?(profile = Device_profile.device_a) ?(n_threads = 1) ?ma
         deficit_notes = Hashtbl.create 16;
         fleet_ro = true;
         completed = 0;
+        tel = telemetry;
+        tel_on = Telemetry.enabled telemetry;
       }
   in
   let t = Lazy.force t in
@@ -242,6 +260,15 @@ let handle_register t ~tenant ~(slo : Message.slo) ~registered_handle =
           (Option.value (Control_plane.token_rate_for t.control_plane ~id:tenant) ~default:0.0)
       in
       Dataplane.add_tenant t.threads.(thread) ~id:tenant ~slo ~token_rate:rate;
+      (* SLO headroom: the tenant's latency budget minus the achieved
+         server-side p95, sampled like any other gauge. *)
+      if t.tel_on && Slo.is_latency_critical slo then begin
+        let hist = Telemetry.tenant_latency_hist t.tel ~tenant in
+        let target = float_of_int slo.Slo.latency_us in
+        Telemetry.register_gauge t.tel
+          (Printf.sprintf "qos/t%d/slo_headroom_us" tenant)
+          (fun () -> target -. Reflex_stats.Hdr_histogram.percentile_us hist 95.0)
+      end;
       Hashtbl.replace t.tenant_thread tenant thread;
       if not (Slo.is_latency_critical slo) then Hashtbl.replace t.be_tenants tenant ();
       Hashtbl.replace t.tenant_conns tenant
@@ -262,6 +289,7 @@ let handle_unregister t ~handle =
   Hashtbl.remove t.tenant_conns handle;
   Hashtbl.remove t.be_tenants handle;
   Hashtbl.remove t.gates handle;
+  if t.tel_on then Telemetry.unregister t.tel (Printf.sprintf "qos/t%d/slo_headroom_us" handle);
   Control_plane.forget t.control_plane ~id:handle;
   refresh_rates t;
   refresh_conn_counts t;
@@ -294,7 +322,7 @@ let rec handle_io t conn ~handle ~kind ~req_id ~lba ~len ~registered_handle =
         | Some thread ->
           g.outstanding <- g.outstanding + 1;
           Dataplane.receive t.threads.(thread) ~tenant_id:handle ~kind ~bytes:len
-            { conn; req_id; bytes = len; tenant = handle };
+            { conn; req_id; bytes = len; tenant = handle; t_arrive = Sim.now t.sim };
           None))
   | _ -> Some (Message.Error_resp { req_id; status = Message.Denied })
 

@@ -39,6 +39,12 @@ val create :
   ?cost_model:Reflex_qos.Cost_model.t ->
   (* override the device-derived request cost model — for ablations *)
   ?seed:int64 ->
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  (* observability sink, default disabled.  When enabled the server
+     threads it through the device, every dataplane thread and the QoS
+     schedulers: lifecycle spans ([Server_rx] ... [Tx_resp]), scheduler
+     decision logging, per-tenant latency histograms and an
+     [qos/t<ID>/slo_headroom_us] gauge for LC tenants. *)
   unit ->
   t
 

@@ -1,4 +1,4 @@
-type event = { mutable cancelled : bool; action : unit -> unit }
+type event = { mutable cancelled : bool; daemon : bool; action : unit -> unit }
 
 type event_id = event
 
@@ -7,24 +7,36 @@ type t = {
   heap : event Heap.t;
   mutable seq : int;
   mutable executed : int;
+  mutable daemon_pending : int; (* daemon events currently in the heap *)
   root_prng : Prng.t;
 }
 
 let create ?(seed = 0x5EED_0F_F1A5_1234L) () =
-  { clock = Time.zero; heap = Heap.create (); seq = 0; executed = 0; root_prng = Prng.create seed }
+  {
+    clock = Time.zero;
+    heap = Heap.create ();
+    seq = 0;
+    executed = 0;
+    daemon_pending = 0;
+    root_prng = Prng.create seed;
+  }
 
 let now t = t.clock
 let prng t = t.root_prng
 
-let at t time f =
+let schedule t ~daemon time f =
   if Time.(time < t.clock) then
     invalid_arg
       (Printf.sprintf "Sim.at: scheduling in the past (%s < %s)" (Time.to_string time)
          (Time.to_string t.clock));
-  let ev = { cancelled = false; action = f } in
+  let ev = { cancelled = false; daemon; action = f } in
   Heap.push t.heap ~time ~seq:t.seq ev;
   t.seq <- t.seq + 1;
+  if daemon then t.daemon_pending <- t.daemon_pending + 1;
   ev
+
+let at t time f = schedule t ~daemon:false time f
+let at_daemon t time f = schedule t ~daemon:true time f
 
 let after t delay f = at t (Time.add t.clock delay) f
 
@@ -34,16 +46,26 @@ let run ?(until = Time.infinity) t =
   let executed_before = t.executed in
   let continue = ref true in
   while !continue do
-    (* Single heap traversal per event: pop only when the minimum is due,
-       instead of the former peek-then-pop pair. *)
-    match Heap.pop_if_le t.heap ~until with
-    | None -> continue := false
-    | Some (time, _, ev) ->
-      t.clock <- time;
-      if not ev.cancelled then begin
-        t.executed <- t.executed + 1;
-        ev.action ()
-      end
+    (* Stop once only daemon events remain: daemons (telemetry samplers
+       and the like) observe the simulation but never keep it alive, so
+       [run] still terminates when the real workload drains.  Unexecuted
+       daemons stay in the heap and resume if new work arrives later. *)
+    if Heap.length t.heap <= t.daemon_pending then continue := false
+    else
+      (* Single heap traversal per event: pop only when the minimum is due,
+         instead of the former peek-then-pop pair. *)
+      match Heap.pop_if_le t.heap ~until with
+      | None -> continue := false
+      | Some (time, _, ev) ->
+        if ev.daemon then t.daemon_pending <- t.daemon_pending - 1;
+        (* A daemon left behind by an earlier [run] whose clock was forced
+           forward to [until] can carry a stale timestamp; never move the
+           clock backwards. *)
+        t.clock <- Time.max t.clock time;
+        if not ev.cancelled then begin
+          t.executed <- t.executed + 1;
+          ev.action ()
+        end
   done;
   (* The clock advances to [until] even if the queue drained earlier, so
      that rate computations based on [now] are well defined. *)
@@ -52,6 +74,7 @@ let run ?(until = Time.infinity) t =
 
 let events_executed t = t.executed
 let pending t = Heap.length t.heap
+let live_pending t = Heap.length t.heap - t.daemon_pending
 
 let every t ~every:period ~until f =
   if Time.(period <= Time.zero) then invalid_arg "Sim.every: non-positive period";
@@ -65,6 +88,20 @@ let every t ~every:period ~until f =
                 [next] would be "in the past" and make [at] raise from
                 inside the event loop. *)
              if Time.(next > time) then tick next))
+  in
+  let first = Time.add t.clock period in
+  if Time.(first > t.clock) then tick first
+
+let every_daemon t ~every:period f =
+  if Time.(period <= Time.zero) then invalid_arg "Sim.every_daemon: non-positive period";
+  let rec tick time =
+    ignore
+      (at_daemon t time (fun () ->
+           (* After an idle gap the scheduled [time] may be stale (the
+              clock was forced forward); report the actual clock. *)
+           f t.clock;
+           let next = Time.max (Time.add time period) t.clock in
+           if Time.(next > time) then tick next))
   in
   let first = Time.add t.clock period in
   if Time.(first > t.clock) then tick first

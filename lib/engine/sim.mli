@@ -21,6 +21,13 @@ val prng : t -> Prng.t
 (** [at t time f] schedules [f] at absolute [time] (must be >= now). *)
 val at : t -> Time.t -> (unit -> unit) -> event_id
 
+(** [at_daemon t time f] schedules a {e daemon} event: it runs like a
+    normal event while other work is pending, but {!run} stops as soon as
+    only daemon events remain, so daemons (telemetry samplers, monitors)
+    never keep the simulation alive on their own.  A daemon skipped at the
+    end of one [run] stays scheduled and resumes if new work arrives. *)
+val at_daemon : t -> Time.t -> (unit -> unit) -> event_id
+
 (** [after t delay f] schedules [f] at [now + delay]. *)
 val after : t -> Time.t -> (unit -> unit) -> event_id
 
@@ -38,5 +45,16 @@ val events_executed : t -> int
 (** Number of events currently pending. *)
 val pending : t -> int
 
+(** Pending events excluding daemons — what actually keeps {!run} going.
+    Use this when polling for outstanding work (daemons never drain). *)
+val live_pending : t -> int
+
 (** Run [f now] every [every] until [until]. *)
 val every : t -> every:Time.t -> until:Time.t -> (Time.t -> unit) -> unit
+
+(** Periodic daemon tick (see {!at_daemon}): runs [f now] every [every]
+    for as long as non-daemon work remains, without ever keeping the
+    simulation alive by itself.  At most one long-lived periodic daemon
+    per simulation is recommended (two daemons would keep each other
+    alive across one extra tick after the workload drains). *)
+val every_daemon : t -> every:Time.t -> (Time.t -> unit) -> unit

@@ -85,7 +85,7 @@ let batching_point ~mode ~batch_cap =
   let sim = Sim.create () in
   let fabric = Reflex_net.Fabric.create sim () in
   let server = Reflex_core.Server.create sim ~fabric ~costs () in
-  let w = { Common.sim; fabric; server } in
+  let w = { Common.sim; fabric; server; telemetry = Reflex_telemetry.Telemetry.disabled } in
   let clients = List.init 4 (fun i -> Common.client_of w ~tenant:(i + 1) ()) in
   let until = Time.add (Sim.now sim) (Time.sec 10) in
   let gens =
@@ -114,7 +114,7 @@ let cost_model_point ~mode ~config ~cost_model =
   let sim = Sim.create () in
   let fabric = Reflex_net.Fabric.create sim () in
   let server = Reflex_core.Server.create sim ~fabric ?cost_model () in
-  let w = { Common.sim; fabric; server } in
+  let w = { Common.sim; fabric; server; telemetry = Reflex_telemetry.Telemetry.disabled } in
   let lc =
     Common.client_of w ~slo:(Common.lc_slo ~latency_us:500 ~iops:100_000 ~read_pct:100)
       ~tenant:1 ()

@@ -2,23 +2,52 @@ open Reflex_engine
 open Reflex_net
 open Reflex_proto
 open Reflex_client
+open Reflex_telemetry
 
 type mode = Quick | Full
 
 let window = function Quick -> Time.ms 150 | Full -> Time.ms 500
 let scale_points mode quick full = match mode with Quick -> quick | Full -> full
 
-type reflex_world = { sim : Sim.t; fabric : Fabric.t; server : Reflex_core.Server.t }
+type reflex_world = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  server : Reflex_core.Server.t;
+  telemetry : Telemetry.t;
+}
+
+(* Worlds built by experiments enable telemetry when this flag is set
+   (the `--telemetry`/`--trace-out` CLI path).  Each world gets its OWN
+   instance — never a shared one — so Runner's domain-parallel sweeps
+   stay race-free and deterministic. *)
+let default_telemetry = ref false
+let set_default_telemetry v = default_telemetry := v
+
+(* The most recent telemetry-enabled world built by [make_reflex], for
+   trace export after a run.  Only meaningful in serial runs (the trace
+   exporter forces jobs=1). *)
+let last_telemetry : Telemetry.t option ref = ref None
 
 let make_reflex ?(n_threads = 1) ?max_threads ?(qos = true) ?profile ?neg_limit
-    ?donate_fraction ?seed () =
+    ?donate_fraction ?seed ?telemetry () =
+  let telemetry =
+    match telemetry with
+    | Some t -> t
+    | None -> if !default_telemetry then Telemetry.create () else Telemetry.disabled
+  in
   let sim = Sim.create () in
   let fabric = Fabric.create sim () in
   let server =
     Reflex_core.Server.create sim ~fabric ?profile ~n_threads ?max_threads ~qos ?neg_limit
-      ?donate_fraction ?seed ()
+      ?donate_fraction ?seed ~telemetry ()
   in
-  { sim; fabric; server }
+  if Telemetry.enabled telemetry then begin
+    (* Daemon tick: samples while real work is pending, never keeps the
+       simulation alive, never perturbs simulation state. *)
+    Telemetry.start_sampler telemetry sim ();
+    last_telemetry := Some telemetry
+  end;
+  { sim; fabric; server; telemetry }
 
 type baseline_world = {
   bsim : Sim.t;
@@ -46,7 +75,8 @@ let register_sync sim client ~tenant ?slo () =
   Client_lib.register client ~tenant ?slo (fun s -> result := Some s);
   let deadline = Time.add (Sim.now sim) (Time.ms 50) in
   let rec wait () =
-    if !result = None && Time.(Sim.now sim < deadline) && Sim.pending sim > 0 then begin
+    (* [live_pending] excludes telemetry daemons, which never drain. *)
+    if !result = None && Time.(Sim.now sim < deadline) && Sim.live_pending sim > 0 then begin
       ignore (Sim.run ~until:(Time.add (Sim.now sim) (Time.us 200)) sim);
       wait ()
     end
@@ -59,7 +89,7 @@ let try_client_of w ?(stack = Stack_model.ix_client) ?slo ~tenant () =
     Client_lib.connect w.sim w.fabric
       ~server_host:(Reflex_core.Server.host w.server)
       ~accept:(Reflex_core.Server.accept w.server)
-      ~stack ()
+      ~stack ~telemetry:w.telemetry ()
   in
   match register_sync w.sim client ~tenant ?slo () with
   | Message.Ok -> Ok client

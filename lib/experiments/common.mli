@@ -22,7 +22,20 @@ type reflex_world = {
   sim : Sim.t;
   fabric : Fabric.t;
   server : Reflex_core.Server.t;
+  telemetry : Reflex_telemetry.Telemetry.t;
+      (** the world's observability sink; {!Reflex_telemetry.Telemetry.disabled}
+          unless requested *)
 }
+
+(** When set, worlds built by {!make_reflex} without an explicit
+    [?telemetry] get a fresh enabled instance (one per world — safe under
+    {!Runner} domain parallelism) with the metrics sampler started.
+    Driven by the [--telemetry]/[--trace-out] CLI flags. *)
+val set_default_telemetry : bool -> unit
+
+(** The telemetry of the most recent enabled world ({e serial} runs only
+    — the trace exporter forces [jobs=1]). *)
+val last_telemetry : Reflex_telemetry.Telemetry.t option ref
 
 val make_reflex :
   ?n_threads:int ->
@@ -32,6 +45,7 @@ val make_reflex :
   ?neg_limit:float ->
   ?donate_fraction:float ->
   ?seed:int64 ->
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
   unit ->
   reflex_world
 

@@ -13,3 +13,4 @@ module Fig5 = Fig5
 module Fig6 = Fig6
 module Fig7 = Fig7
 module Ablations = Ablations
+module Tracing = Tracing

@@ -1,4 +1,5 @@
 open Reflex_engine
+open Reflex_telemetry
 
 (* Each die is an independent single-server queue; requests are routed to
    the less-loaded of two randomly chosen dies ("power of two choices",
@@ -19,23 +20,46 @@ type t = {
   wbuf_waiters : (unit -> unit) Queue.t;
   mutable reads_done : int;
   mutable writes_done : int;
+  (* Observability: [tel_on] is a copy of the telemetry instance's
+     immutable enabled bit; the completion-path histogram records are
+     skipped on that single test when telemetry is off. *)
+  tel_on : bool;
+  h_read : Reflex_stats.Hdr_histogram.t; (* flash/read_ns *)
+  h_write : Reflex_stats.Hdr_histogram.t; (* flash/write_ns *)
 }
 
-let create sim ~profile ~prng =
+let create ?(telemetry = Telemetry.disabled) sim ~profile ~prng =
   let n = profile.Device_profile.n_dies in
-  {
-    sim;
-    p = profile;
-    prng;
-    dies = Array.init n (fun _ -> Resource.create sim ~servers:1);
-    die_work = Array.make n Time.zero;
-    die_programs = Array.make n 0;
-    last_write = None;
-    wbuf_used = 0;
-    wbuf_waiters = Queue.create ();
-    reads_done = 0;
-    writes_done = 0;
-  }
+  let t =
+    {
+      sim;
+      p = profile;
+      prng;
+      dies = Array.init n (fun _ -> Resource.create sim ~servers:1);
+      die_work = Array.make n Time.zero;
+      die_programs = Array.make n 0;
+      last_write = None;
+      wbuf_used = 0;
+      wbuf_waiters = Queue.create ();
+      reads_done = 0;
+      writes_done = 0;
+      tel_on = Telemetry.enabled telemetry;
+      h_read = Telemetry.histogram telemetry "flash/read_ns";
+      h_write = Telemetry.histogram telemetry "flash/write_ns";
+    }
+  in
+  if t.tel_on then begin
+    Telemetry.register_gauge telemetry "flash/wbuf_used" (fun () -> float_of_int t.wbuf_used);
+    Telemetry.register_gauge telemetry "flash/wbuf_waiters" (fun () ->
+        float_of_int (Queue.length t.wbuf_waiters));
+    Telemetry.register_gauge telemetry "flash/reads_done" (fun () -> float_of_int t.reads_done);
+    Telemetry.register_gauge telemetry "flash/writes_done" (fun () ->
+        float_of_int t.writes_done);
+    Telemetry.register_gauge telemetry "flash/util" (fun () ->
+        Array.fold_left (fun acc d -> acc +. Resource.utilization d) 0.0 t.dies
+        /. float_of_int (Array.length t.dies))
+  end;
+  t
 
 let profile t = t.p
 
@@ -73,7 +97,9 @@ let submit_read t ~bytes cb =
       ignore
         (Sim.after t.sim t.p.read_pipeline (fun () ->
              t.reads_done <- t.reads_done + 1;
-             cb ~latency:(Time.diff (Sim.now t.sim) submit_time))))
+             let latency = Time.diff (Sim.now t.sim) submit_time in
+             if t.tel_on then Reflex_stats.Hdr_histogram.record t.h_read latency;
+             cb ~latency)))
 
 (* Backend work for one write: program jobs plus an erase burst every
    [erase_every] programs on a die.  All low priority: reads dispatch
@@ -121,7 +147,9 @@ let submit_write t ~bytes cb =
     ignore
       (Sim.after t.sim ack (fun () ->
            t.writes_done <- t.writes_done + 1;
-           cb ~latency:(Time.diff (Sim.now t.sim) submit_time)))
+           let latency = Time.diff (Sim.now t.sim) submit_time in
+           if t.tel_on then Reflex_stats.Hdr_histogram.record t.h_write latency;
+           cb ~latency))
   in
   if t.wbuf_used < t.p.write_buffer_slots then run_with_slot ()
   else Queue.add run_with_slot t.wbuf_waiters

@@ -16,7 +16,16 @@ open Reflex_engine
 
 type t
 
-val create : Sim.t -> profile:Device_profile.t -> prng:Prng.t -> t
+(** [telemetry] (default disabled) registers [flash/...] gauges
+    (write-buffer occupancy, completions, die utilization) and records
+    per-op service latency into the [flash/read_ns] / [flash/write_ns]
+    histograms; when disabled the completion path pays one boolean test. *)
+val create :
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  Sim.t ->
+  profile:Device_profile.t ->
+  prng:Prng.t ->
+  t
 
 val profile : t -> Device_profile.t
 

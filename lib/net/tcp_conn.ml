@@ -1,4 +1,5 @@
 open Reflex_engine
+open Reflex_telemetry
 
 (* Per-direction ordering works the way TCP reassembly does: each message
    carries a sequence number; out-of-order arrivals (receive-side jitter
@@ -19,6 +20,12 @@ type 'a t = {
   server : Fabric.host;
   to_server : 'a endpoint;
   to_client : 'a endpoint;
+  (* World-level counters (shared by every connection of the world via
+     the registry); untouched when telemetry is off. *)
+  tel_on : bool;
+  c_to_server : Telemetry.counter; (* net/to_server_msgs *)
+  c_to_client : Telemetry.counter; (* net/to_client_msgs *)
+  c_ooo : Telemetry.counter; (* net/ooo_buffered *)
 }
 
 let make_endpoint () =
@@ -31,8 +38,18 @@ let make_endpoint () =
     delivered = 0;
   }
 
-let connect fabric ~client ~server =
-  { fabric; client; server; to_server = make_endpoint (); to_client = make_endpoint () }
+let connect ?(telemetry = Telemetry.disabled) fabric ~client ~server =
+  {
+    fabric;
+    client;
+    server;
+    to_server = make_endpoint ();
+    to_client = make_endpoint ();
+    tel_on = Telemetry.enabled telemetry;
+    c_to_server = Telemetry.counter telemetry "net/to_server_msgs";
+    c_to_client = Telemetry.counter telemetry "net/to_client_msgs";
+    c_ooo = Telemetry.counter telemetry "net/ooo_buffered";
+  }
 
 let deliver ep msg size =
   ep.delivered <- ep.delivered + 1;
@@ -48,7 +65,9 @@ let set_handler ep h =
 let set_server_handler t h = set_handler t.to_server h
 let set_client_handler t h = set_handler t.to_client h
 
-let arrive ep seq msg size =
+let arrive t ep seq msg size =
+  (* A gap means receive-side jitter reordered raw deliveries. *)
+  if t.tel_on && seq <> ep.next_deliver then Telemetry.incr t.c_ooo;
   Hashtbl.replace ep.out_of_order seq (msg, size);
   let rec drain () =
     match Hashtbl.find_opt ep.out_of_order ep.next_deliver with
@@ -68,10 +87,15 @@ let send t ~src ~dst ~ep ~size msg =
   let tx = Stack_model.tx_delay (Fabric.host_stack src) (Sim.prng sim) in
   ignore
     (Sim.after sim tx (fun () ->
-         Fabric.transmit t.fabric ~src ~dst ~bytes:size (fun () -> arrive ep seq msg size)))
+         Fabric.transmit t.fabric ~src ~dst ~bytes:size (fun () -> arrive t ep seq msg size)))
 
-let send_to_server t ~size msg = send t ~src:t.client ~dst:t.server ~ep:t.to_server ~size msg
-let send_to_client t ~size msg = send t ~src:t.server ~dst:t.client ~ep:t.to_client ~size msg
+let send_to_server t ~size msg =
+  if t.tel_on then Telemetry.incr t.c_to_server;
+  send t ~src:t.client ~dst:t.server ~ep:t.to_server ~size msg
+
+let send_to_client t ~size msg =
+  if t.tel_on then Telemetry.incr t.c_to_client;
+  send t ~src:t.server ~dst:t.client ~ep:t.to_client ~size msg
 
 let client_host t = t.client
 let server_host t = t.server

@@ -9,7 +9,15 @@
 
 type 'a t
 
-val connect : Fabric.t -> client:Fabric.host -> server:Fabric.host -> 'a t
+(** [telemetry] (default disabled) counts per-direction messages and
+    out-of-order buffering into the world counters [net/to_server_msgs],
+    [net/to_client_msgs] and [net/ooo_buffered]. *)
+val connect :
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  Fabric.t ->
+  client:Fabric.host ->
+  server:Fabric.host ->
+  'a t
 
 (** Install the message handler on each side.  Messages delivered before a
     handler is installed are queued. *)

@@ -1,4 +1,5 @@
 open Reflex_engine
+open Reflex_telemetry
 
 type 'a submission = { tenant_id : int; cost : float; payload : 'a }
 
@@ -8,6 +9,10 @@ type 'a t = {
   global : Global_bucket.t;
   thread_id : int;
   notify_control_plane : int -> unit;
+  (* Observability sink; [Telemetry.disabled] by default, in which case
+     every record site below is skipped by a single immutable-bool read
+     and the scheduling round stays allocation-free. *)
+  telemetry : Telemetry.t;
   (* Tenant sets live in growable arrays: the first [lc_n]/[be_n] slots
      are the members, in insertion order.  Appends are amortized O(1)
      (the old [t.lc @ [tenant]] was O(n) per add, O(n^2) for a fleet). *)
@@ -28,16 +33,25 @@ type 'a t = {
 }
 
 let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
-    ?(notify_control_plane = fun _ -> ()) () =
+    ?(notify_control_plane = fun _ -> ()) ?(telemetry = Telemetry.disabled) () =
   if neg_limit > 0.0 then invalid_arg "Scheduler.create: neg_limit must be <= 0";
   if donate_fraction < 0.0 || donate_fraction > 1.0 then
     invalid_arg "Scheduler.create: donate_fraction in [0,1]";
+  if Telemetry.enabled telemetry then begin
+    (* All schedulers of a world share one bucket; re-registration from
+       each thread replaces the gauge with an equivalent closure. *)
+    Telemetry.register_gauge telemetry "qos/global_bucket/level" (fun () ->
+        Global_bucket.level global);
+    Telemetry.register_gauge telemetry "qos/global_bucket/resets" (fun () ->
+        float_of_int (Global_bucket.resets global))
+  end;
   {
     neg_limit;
     donate_fraction;
     global;
     thread_id;
     notify_control_plane;
+    telemetry;
     lc = [||];
     lc_n = 0;
     be = [||];
@@ -48,6 +62,32 @@ let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
     lc_generated = 0.0;
     backlog_agg = 0.0;
   }
+
+(* Per-tenant observability dimensions.  Gauges are registered when the
+   tenant joins a scheduler and removed when it leaves; names are stable
+   across threads so a rebalanced tenant keeps its series. *)
+let tenant_gauge_names tenant_id =
+  let p = Printf.sprintf "qos/t%d/" tenant_id in
+  [ p ^ "tokens"; p ^ "backlog"; p ^ "granted"; p ^ "debited" ]
+
+let register_tenant_gauges t tenant =
+  if Telemetry.enabled t.telemetry then begin
+    match tenant_gauge_names (Tenant.id tenant) with
+    | [ g_tokens; g_backlog; g_granted; g_debited ] ->
+      Telemetry.register_gauge t.telemetry g_tokens (fun () -> Tenant.tokens tenant);
+      Telemetry.register_gauge t.telemetry g_backlog (fun () -> Tenant.demand tenant);
+      Telemetry.register_gauge t.telemetry g_granted (fun () -> Tenant.granted_total tenant);
+      Telemetry.register_gauge t.telemetry g_debited (fun () ->
+          Tenant.submitted_cost_total tenant);
+      Telemetry.set_tenant_slo t.telemetry ~tenant:(Tenant.id tenant)
+        ~latency_critical:(Tenant.is_latency_critical tenant)
+        ~latency_us:(Tenant.slo tenant).Slo.latency_us
+    | _ -> assert false
+  end
+
+let unregister_tenant_gauges t tenant_id =
+  if Telemetry.enabled t.telemetry then
+    List.iter (Telemetry.unregister t.telemetry) (tenant_gauge_names tenant_id)
 
 (* Append [x] into the first free slot of [arr] (of which [n] are live),
    doubling capacity when full; returns the array to store back. *)
@@ -76,7 +116,8 @@ let add_tenant t tenant =
     t.be_n <- t.be_n + 1
   end;
   t.backlog_agg <- t.backlog_agg +. Tenant.demand tenant;
-  Tenant.set_demand_listener tenant (fun delta -> t.backlog_agg <- t.backlog_agg +. delta)
+  Tenant.set_demand_listener tenant (fun delta -> t.backlog_agg <- t.backlog_agg +. delta);
+  register_tenant_gauges t tenant
 
 (* Single-pass, order-preserving removal from the live prefix of [arr].
    Returns the new live count.  The vacated slot is re-pointed at a
@@ -99,6 +140,7 @@ let remove_tenant t tenant_id =
   | Some tenant ->
     Hashtbl.remove t.by_id tenant_id;
     Tenant.clear_demand_listener tenant;
+    unregister_tenant_gauges t tenant_id;
     t.backlog_agg <- t.backlog_agg -. Tenant.demand tenant;
     if t.backlog_agg < 0.0 then t.backlog_agg <- 0.0;
     if Tenant.is_latency_critical tenant then begin
@@ -172,6 +214,9 @@ let schedule t ~now ~submit =
     | Some prev -> Time.to_float_sec (Time.diff now prev)
   in
   t.prev_sched_time <- Some now;
+  (* Read once; telemetry-off rounds pay exactly these immutable-bool
+     tests and stay allocation-free. *)
+  let tel_on = Telemetry.enabled t.telemetry in
   let submitted = ref 0 in
   (* Latency-critical tenants first (Algorithm 1, lines 4-12). *)
   for i = 0 to t.lc_n - 1 do
@@ -180,27 +225,63 @@ let schedule t ~now ~submit =
     Tenant.add_tokens tenant grant;
     Tenant.record_grant tenant grant;
     t.lc_generated <- t.lc_generated +. grant;
-    if Tenant.tokens tenant < t.neg_limit then t.notify_control_plane (Tenant.id tenant);
+    if Tenant.tokens tenant < t.neg_limit then begin
+      t.notify_control_plane (Tenant.id tenant);
+      if tel_on then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Deficit_limit ~amount:t.neg_limit
+          ~tokens_after:(Tenant.tokens tenant)
+    end;
     submitted := !submitted + submit_while tenant ~floor:t.neg_limit ~submit;
+    (* Demand left after the submit loop means the balance hit the floor:
+       the scheduler is actively throttling this LC tenant. *)
+    if tel_on && Tenant.demand tenant > 0.0 then
+      Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+        Telemetry.Decision.Throttled ~amount:(Tenant.demand tenant)
+        ~tokens_after:(Tenant.tokens tenant);
     let pos_limit = Tenant.pos_limit tenant in
     if Tenant.tokens tenant > pos_limit then begin
       let donation = Tenant.tokens tenant *. t.donate_fraction in
       Global_bucket.add t.global donation;
-      Tenant.spend_tokens tenant donation
+      Tenant.spend_tokens tenant donation;
+      if tel_on then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Donated ~amount:donation ~tokens_after:(Tenant.tokens tenant)
     end
   done;
   (* Best-effort tenants in round-robin order (lines 13-21). *)
   let n_be = t.be_n in
   for k = 0 to n_be - 1 do
     let tenant = t.be.((t.be_cursor + k) mod n_be) in
-    Tenant.add_tokens tenant (Tenant.token_rate tenant *. time_delta);
+    let grant = Tenant.token_rate tenant *. time_delta in
+    Tenant.add_tokens tenant grant;
+    if tel_on then Tenant.note_granted tenant grant;
     let deficit = Tenant.demand tenant -. Tenant.tokens tenant in
-    if deficit > 0.0 then Tenant.add_tokens tenant (Global_bucket.try_take t.global deficit);
+    if deficit > 0.0 then begin
+      let taken = Global_bucket.try_take t.global deficit in
+      Tenant.add_tokens tenant taken;
+      if tel_on && taken > 0.0 then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Be_bucket_take ~amount:taken ~tokens_after:(Tenant.tokens tenant)
+    end;
     submitted := !submitted + submit_admissible tenant ~submit;
+    if tel_on && Tenant.demand tenant > 0.0 then
+      Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+        Telemetry.Decision.Be_starved ~amount:(Tenant.demand tenant)
+        ~tokens_after:(Tenant.tokens tenant);
     (* DRR-inspired: no token hoarding while idle. *)
-    if Tenant.tokens tenant > 0.0 && Tenant.demand tenant = 0.0 then
-      Global_bucket.add t.global (Tenant.drain_tokens tenant)
+    if Tenant.tokens tenant > 0.0 && Tenant.demand tenant = 0.0 then begin
+      let drained = Tenant.drain_tokens tenant in
+      Global_bucket.add t.global drained;
+      if tel_on && drained > 0.0 then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Be_idle_drain ~amount:drained ~tokens_after:0.0
+    end
   done;
   if n_be > 0 then t.be_cursor <- (t.be_cursor + 1) mod n_be;
-  ignore (Global_bucket.mark_round t.global ~thread_id:t.thread_id);
+  let reset = Global_bucket.mark_round t.global ~thread_id:t.thread_id in
+  if tel_on && reset then
+    Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(-1)
+      Telemetry.Decision.Bucket_reset ~amount:0.0
+      ~tokens_after:(Global_bucket.level t.global);
   !submitted

@@ -25,6 +25,11 @@ val create :
   global:Global_bucket.t ->
   thread_id:int ->
   ?notify_control_plane:(int -> unit) ->
+  ?telemetry:Reflex_telemetry.Telemetry.t ->
+  (* default [Telemetry.disabled]: the scheduling round then stays
+     allocation-free.  When enabled, every throttle/donation/bucket
+     decision is logged with its inputs and per-tenant token/backlog/
+     grant/debit gauges are registered as [qos/t<ID>/...]. *)
   unit ->
   'a t
 

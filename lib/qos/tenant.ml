@@ -10,6 +10,7 @@ type 'a t = {
   grants : float array; (* last three rounds, ring buffer *)
   mutable grant_pos : int;
   mutable submitted_cost : float;
+  mutable granted_total : float;
   (* Called with the signed change whenever [demand] moves; lets the
      owning scheduler maintain an O(1) backlog aggregate without
      rescanning every tenant per cycle. *)
@@ -28,6 +29,7 @@ let create ~id ~slo ~token_rate =
     grants = Array.make 3 0.0;
     grant_pos = 0;
     submitted_cost = 0.0;
+    granted_total = 0.0;
     on_demand_delta = no_listener;
   }
 
@@ -77,7 +79,11 @@ let dequeue t =
 
 let record_grant t x =
   t.grants.(t.grant_pos) <- x;
-  t.grant_pos <- (t.grant_pos + 1) mod 3
+  t.grant_pos <- (t.grant_pos + 1) mod 3;
+  t.granted_total <- t.granted_total +. x
+
+let note_granted t x = t.granted_total <- t.granted_total +. x
+let granted_total t = t.granted_total
 
 let pos_limit t = t.grants.(0) +. t.grants.(1) +. t.grants.(2)
 

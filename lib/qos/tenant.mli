@@ -55,7 +55,8 @@ val clear_demand_listener : 'a t -> unit
 
 (** {1 Grant history (POS_LIMIT)} *)
 
-(** Record tokens granted this round; keeps the last three rounds. *)
+(** Record tokens granted this round; keeps the last three rounds and
+    accumulates {!granted_total}. *)
 val record_grant : 'a t -> float -> unit
 
 (** POS_LIMIT: the tokens received over the last three scheduling rounds
@@ -66,3 +67,10 @@ val pos_limit : 'a t -> float
 
 val submitted_cost_total : 'a t -> float
 val note_submitted : 'a t -> float -> unit
+
+(** Accumulate granted tokens without touching the POS_LIMIT ring (used
+    for BE rate grants, which are not part of the LC burst window). *)
+val note_granted : 'a t -> float -> unit
+
+(** Total tokens ever granted to this tenant (observability). *)
+val granted_total : 'a t -> float

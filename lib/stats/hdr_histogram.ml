@@ -60,23 +60,29 @@ let record t v = record_n t v 1
 let count t = t.total
 
 let percentile t p =
-  if t.total = 0 then invalid_arg "Hdr_histogram.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Hdr_histogram.percentile: out of range";
-  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
-  let rank = if rank < 1 then 1 else rank in
-  let acc = ref 0 in
-  let result = ref t.max_v in
-  (try
-     for i = 0 to n_cells - 1 do
-       acc := !acc + t.counts.(i);
-       if !acc >= rank then begin
-         result := value_of i;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  (* Never report beyond the actual max. *)
-  if Int64.compare !result t.max_v > 0 then t.max_v else !result
+  if t.total = 0 then 0L (* defined: empty histogram reports 0 for every p *)
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to n_cells - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           result := value_of i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Clamp into [min_v, max_v]: bucket edges never over- or under-shoot
+       the observed range, so a single-sample histogram reports exactly
+       that sample for every percentile. *)
+    if Int64.compare !result t.max_v > 0 then t.max_v
+    else if Int64.compare !result t.min_v < 0 then t.min_v
+    else !result
+  end
 
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 let min_value t = if t.total = 0 then 0L else t.min_v

@@ -18,8 +18,13 @@ val record_n : t -> int64 -> int -> unit
 
 val count : t -> int
 
-(** [percentile t p] with [p] in [0, 100].  Raises [Invalid_argument] when
-    empty or [p] out of range. *)
+(** [percentile t p] with [p] in [0, 100]; raises [Invalid_argument] when
+    [p] is out of range.
+
+    Edge cases are defined: an {e empty} histogram returns [0L] for every
+    [p] (it never raises), and the result is always clamped into
+    [[min_value t, max_value t]], so a {e single-sample} histogram returns
+    exactly that sample for every [p]. *)
 val percentile : t -> float -> int64
 
 val mean : t -> float

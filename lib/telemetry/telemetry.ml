@@ -1,0 +1,442 @@
+open Reflex_engine
+open Reflex_stats
+
+(* The observability core.  One instance per simulated world.  The single
+   design rule: when [enabled] is false (the shared {!disabled} value),
+   no record operation mutates anything and no record site allocates —
+   every hot-path hook in the dataplane is guarded by a read of the
+   immutable [enabled] bit.  The enabled path may allocate freely. *)
+
+module Stage = struct
+  type t =
+    | Client_submit
+    | Server_rx
+    | Sched_enqueue
+    | Granted
+    | Nvme_submit
+    | Nvme_complete
+    | Tx_resp
+    | Client_complete
+
+  let count = 8
+
+  let to_int = function
+    | Client_submit -> 0
+    | Server_rx -> 1
+    | Sched_enqueue -> 2
+    | Granted -> 3
+    | Nvme_submit -> 4
+    | Nvme_complete -> 5
+    | Tx_resp -> 6
+    | Client_complete -> 7
+
+  let of_int = function
+    | 0 -> Client_submit
+    | 1 -> Server_rx
+    | 2 -> Sched_enqueue
+    | 3 -> Granted
+    | 4 -> Nvme_submit
+    | 5 -> Nvme_complete
+    | 6 -> Tx_resp
+    | 7 -> Client_complete
+    | n -> invalid_arg (Printf.sprintf "Stage.of_int: %d" n)
+
+  let name = function
+    | Client_submit -> "client_submit"
+    | Server_rx -> "server_rx"
+    | Sched_enqueue -> "sched_enqueue"
+    | Granted -> "token_grant"
+    | Nvme_submit -> "nvme_submit"
+    | Nvme_complete -> "nvme_complete"
+    | Tx_resp -> "tx_resp"
+    | Client_complete -> "client_complete"
+
+  (* Name of the latency component that ends at stage [i+1]; the seven
+     components tile [client_submit, client_complete] exactly, so their
+     sum telescopes to the end-to-end latency. *)
+  let component_names =
+    [| "net_in"; "parse_enqueue"; "sched_wait"; "sq_submit"; "nvme"; "cq_tx"; "net_out" |]
+
+  let component_count = Array.length component_names
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-capacity span ring                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Span_ring = struct
+  (* Parallel arrays (no per-record boxing); wraparound overwrites the
+     oldest events, keeping the newest [capacity] spans. *)
+  type t = {
+    capacity : int;
+    times : int64 array;
+    tenants : int array;
+    req_ids : int64 array;
+    stages : int array;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Span_ring.create: capacity < 1";
+    {
+      capacity;
+      times = Array.make capacity 0L;
+      tenants = Array.make capacity 0;
+      req_ids = Array.make capacity 0L;
+      stages = Array.make capacity 0;
+      next = 0;
+      total = 0;
+    }
+
+  let record t ~time ~tenant ~req_id ~stage =
+    let i = t.next in
+    t.times.(i) <- time;
+    t.tenants.(i) <- tenant;
+    t.req_ids.(i) <- req_id;
+    t.stages.(i) <- stage;
+    let j = i + 1 in
+    t.next <- (if j = t.capacity then 0 else j);
+    t.total <- t.total + 1
+
+  let length t = if t.total < t.capacity then t.total else t.capacity
+  let total t = t.total
+  let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
+
+  (* Oldest-first iteration over the retained window. *)
+  let iter t f =
+    let n = length t in
+    let start = if t.total <= t.capacity then 0 else t.next in
+    for k = 0 to n - 1 do
+      let i = start + k in
+      let i = if i >= t.capacity then i - t.capacity else i in
+      f ~time:t.times.(i) ~tenant:t.tenants.(i) ~req_id:t.req_ids.(i) ~stage:t.stages.(i)
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler decision log                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Decision = struct
+  type kind =
+    | Throttled (* LC tenant left demand queued: token balance at floor *)
+    | Deficit_limit (* LC balance below NEG_LIMIT: control plane notified *)
+    | Donated (* LC balance above POS_LIMIT donated to the global bucket *)
+    | Be_bucket_take (* BE tenant claimed tokens from the global bucket *)
+    | Be_starved (* BE tenant left demand queued: could not fully pay *)
+    | Be_idle_drain (* idle BE tenant's balance returned to the bucket *)
+    | Bucket_reset (* this thread's round marked the global-bucket reset *)
+
+  let to_int = function
+    | Throttled -> 0
+    | Deficit_limit -> 1
+    | Donated -> 2
+    | Be_bucket_take -> 3
+    | Be_starved -> 4
+    | Be_idle_drain -> 5
+    | Bucket_reset -> 6
+
+  let of_int = function
+    | 0 -> Throttled
+    | 1 -> Deficit_limit
+    | 2 -> Donated
+    | 3 -> Be_bucket_take
+    | 4 -> Be_starved
+    | 5 -> Be_idle_drain
+    | 6 -> Bucket_reset
+    | n -> invalid_arg (Printf.sprintf "Decision.of_int: %d" n)
+
+  let name = function
+    | Throttled -> "throttled"
+    | Deficit_limit -> "deficit_limit"
+    | Donated -> "donated"
+    | Be_bucket_take -> "bucket_take"
+    | Be_starved -> "be_starved"
+    | Be_idle_drain -> "idle_drain"
+    | Bucket_reset -> "bucket_reset"
+end
+
+module Decision_ring = struct
+  type t = {
+    capacity : int;
+    times : int64 array;
+    threads : int array;
+    tenants : int array;
+    kinds : int array;
+    amounts : float array;
+    tokens_after : float array;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Decision_ring.create: capacity < 1";
+    {
+      capacity;
+      times = Array.make capacity 0L;
+      threads = Array.make capacity 0;
+      tenants = Array.make capacity 0;
+      kinds = Array.make capacity 0;
+      amounts = Array.make capacity 0.0;
+      tokens_after = Array.make capacity 0.0;
+      next = 0;
+      total = 0;
+    }
+
+  let record t ~time ~thread ~tenant ~kind ~amount ~tokens_after =
+    let i = t.next in
+    t.times.(i) <- time;
+    t.threads.(i) <- thread;
+    t.tenants.(i) <- tenant;
+    t.kinds.(i) <- kind;
+    t.amounts.(i) <- amount;
+    t.tokens_after.(i) <- tokens_after;
+    let j = i + 1 in
+    t.next <- (if j = t.capacity then 0 else j);
+    t.total <- t.total + 1
+
+  let length t = if t.total < t.capacity then t.total else t.capacity
+  let total t = t.total
+
+  let iter t f =
+    let n = length t in
+    let start = if t.total <= t.capacity then 0 else t.next in
+    for k = 0 to n - 1 do
+      let i = start + k in
+      let i = if i >= t.capacity then i - t.capacity else i in
+      f ~time:t.times.(i) ~thread:t.threads.(i) ~tenant:t.tenants.(i) ~kind:t.kinds.(i)
+        ~amount:t.amounts.(i) ~tokens_after:t.tokens_after.(i)
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable value : float }
+
+type metric =
+  | Counter of counter
+  | Gauge of (unit -> float)
+  | Hist of Hdr_histogram.t
+
+type sample = { s_time : Time.t; s_values : (string * float) array }
+
+type slo_target = { st_latency_critical : bool; st_latency_us : int }
+
+type t = {
+  enabled : bool;
+  spans : Span_ring.t;
+  decisions : Decision_ring.t;
+  metrics : (string, metric) Hashtbl.t;
+  mutable samples_rev : sample list;
+  mutable sample_count : int;
+  mutable sampler_running : bool;
+  tenant_slos : (int, slo_target) Hashtbl.t;
+  tenant_lat : (int, Hdr_histogram.t) Hashtbl.t;
+}
+
+(* Shared sinks handed out by the disabled instance; guarded record
+   sites never write to them, so sharing across domains is safe. *)
+let dummy_counter = { value = 0.0 }
+let dummy_hist = Hdr_histogram.create ()
+
+let make ~enabled ~span_capacity ~decision_capacity =
+  {
+    enabled;
+    spans = Span_ring.create span_capacity;
+    decisions = Decision_ring.create decision_capacity;
+    metrics = Hashtbl.create 64;
+    samples_rev = [];
+    sample_count = 0;
+    sampler_running = false;
+    tenant_slos = Hashtbl.create 16;
+    tenant_lat = Hashtbl.create 16;
+  }
+
+let disabled = make ~enabled:false ~span_capacity:1 ~decision_capacity:1
+
+let create ?(span_capacity = 1 lsl 16) ?(decision_capacity = 4096) () =
+  make ~enabled:true ~span_capacity ~decision_capacity
+
+let enabled t = t.enabled [@@inline]
+
+(* ---------------- spans ---------------- *)
+
+let span t ~now ~tenant ~req_id stage =
+  if t.enabled then
+    Span_ring.record t.spans ~time:now ~tenant ~req_id ~stage:(Stage.to_int stage)
+
+let span_count t = Span_ring.length t.spans
+let spans_recorded t = Span_ring.total t.spans
+let spans_dropped t = Span_ring.dropped t.spans
+
+let iter_spans t f =
+  Span_ring.iter t.spans (fun ~time ~tenant ~req_id ~stage ->
+      f ~time ~tenant ~req_id ~stage:(Stage.of_int stage))
+
+(* ---------------- decisions ---------------- *)
+
+let decision t ~now ~thread ~tenant kind ~amount ~tokens_after =
+  if t.enabled then
+    Decision_ring.record t.decisions ~time:now ~thread ~tenant
+      ~kind:(Decision.to_int kind) ~amount ~tokens_after
+
+let decision_count t = Decision_ring.length t.decisions
+let decisions_recorded t = Decision_ring.total t.decisions
+
+let iter_decisions t f =
+  Decision_ring.iter t.decisions (fun ~time ~thread ~tenant ~kind ~amount ~tokens_after ->
+      f ~time ~thread ~tenant ~kind:(Decision.of_int kind) ~amount ~tokens_after)
+
+(* ---------------- metrics ---------------- *)
+
+let counter t name =
+  if not t.enabled then dummy_counter
+  else
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Counter c) -> c
+    | Some _ -> invalid_arg ("Telemetry.counter: " ^ name ^ " registered as another kind")
+    | None ->
+      let c = { value = 0.0 } in
+      Hashtbl.replace t.metrics name (Counter c);
+      c
+
+let add c x = c.value <- c.value +. x
+let incr c = add c 1.0
+let counter_value c = c.value
+
+let register_gauge t name f = if t.enabled then Hashtbl.replace t.metrics name (Gauge f)
+let unregister t name = if t.enabled then Hashtbl.remove t.metrics name
+
+let histogram t name =
+  if not t.enabled then dummy_hist
+  else
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Hist h) -> h
+    | Some _ -> invalid_arg ("Telemetry.histogram: " ^ name ^ " registered as another kind")
+    | None ->
+      let h = Hdr_histogram.create () in
+      Hashtbl.replace t.metrics name (Hist h);
+      h
+
+let metric_value = function
+  | Counter c -> c.value
+  | Gauge g -> g ()
+  | Hist h -> float_of_int (Hdr_histogram.count h)
+
+let metric_names t =
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [] in
+  List.sort compare names
+
+(* ---------------- tenant dimensions ---------------- *)
+
+let set_tenant_slo t ~tenant ~latency_critical ~latency_us =
+  if t.enabled then
+    Hashtbl.replace t.tenant_slos tenant
+      { st_latency_critical = latency_critical; st_latency_us = latency_us }
+
+let tenant_slo t ~tenant =
+  match Hashtbl.find_opt t.tenant_slos tenant with
+  | Some { st_latency_critical; st_latency_us } -> Some (st_latency_critical, st_latency_us)
+  | None -> None
+
+let tenants_with_slo t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_slos [])
+
+let tenant_latency_hist t ~tenant =
+  if not t.enabled then dummy_hist
+  else
+    match Hashtbl.find_opt t.tenant_lat tenant with
+    | Some h -> h
+    | None ->
+      let h = Hdr_histogram.create () in
+      Hashtbl.replace t.tenant_lat tenant h;
+      h
+
+let record_tenant_latency t ~tenant lat =
+  if t.enabled then Hdr_histogram.record (tenant_latency_hist t ~tenant) lat
+
+(* ---------------- sampling ---------------- *)
+
+let sample t ~now =
+  if t.enabled then begin
+    let n = Hashtbl.length t.metrics in
+    let arr = Array.make n ("", 0.0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun name m ->
+        arr.(!i) <- (name, metric_value m);
+        Stdlib.incr i)
+      t.metrics;
+    (* Hashtbl order is unspecified: sort for deterministic output. *)
+    Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+    t.samples_rev <- { s_time = now; s_values = arr } :: t.samples_rev;
+    t.sample_count <- t.sample_count + 1
+  end
+
+let start_sampler t sim ?(interval = Time.ms 1) () =
+  if t.enabled && not t.sampler_running then begin
+    t.sampler_running <- true;
+    Sim.every_daemon sim ~every:interval (fun now -> sample t ~now)
+  end
+
+let samples t = List.rev t.samples_rev
+let sample_count t = t.sample_count
+
+(* ---------------- reports ---------------- *)
+
+let metrics_report t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== telemetry metrics (%d samples, %d metrics) ==\n" t.sample_count
+       (Hashtbl.length t.metrics));
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.metrics name with
+      | None -> ()
+      | Some (Counter c) -> Buffer.add_string buf (Printf.sprintf "%-34s %14.1f\n" name c.value)
+      | Some (Gauge g) -> Buffer.add_string buf (Printf.sprintf "%-34s %14.1f\n" name (g ()))
+      | Some (Hist h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-34s n=%-9d mean=%.1fus p95=%.1fus p99=%.1fus\n" name
+             (Hdr_histogram.count h) (Hdr_histogram.mean_us h)
+             (Hdr_histogram.percentile_us h 95.0)
+             (Hdr_histogram.percentile_us h 99.0)))
+    (metric_names t);
+  Buffer.contents buf
+
+let timeseries_report ?prefix t =
+  let keep name =
+    match prefix with None -> true | Some p -> String.length name >= String.length p
+                                               && String.sub name 0 (String.length p) = p
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "== telemetry time series (t_ms metric value) ==\n";
+  List.iter
+    (fun { s_time; s_values } ->
+      Array.iter
+        (fun (name, v) ->
+          if keep name then
+            Buffer.add_string buf
+              (Printf.sprintf "%10.3f %-34s %14.3f\n" (Time.to_float_ms s_time) name v))
+        s_values)
+    (samples t);
+  Buffer.contents buf
+
+let decisions_report ?(limit = 40) t =
+  let total = Decision_ring.length t.decisions in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== scheduler decision log (%d retained, showing last %d) ==\n" total
+       (min limit total));
+  let skip = if total > limit then total - limit else 0 in
+  let i = ref 0 in
+  iter_decisions t (fun ~time ~thread ~tenant ~kind ~amount ~tokens_after ->
+      if !i >= skip then
+        Buffer.add_string buf
+          (Printf.sprintf "%10.3fms thread%d tenant%-5d %-12s amount=%10.1f tokens=%10.1f\n"
+             (Time.to_float_ms time) thread tenant (Decision.name kind) amount tokens_after);
+      Stdlib.incr i);
+  Buffer.contents buf

@@ -1,0 +1,188 @@
+(** Observability core: lifecycle span ring, scheduler decision log, and a
+    named-metrics registry with sim-time sampling.
+
+    One {!t} per simulated world.  The defining contract is
+    {e zero overhead when disabled}: every record operation first reads the
+    immutable [enabled] flag and returns without allocating or mutating when
+    it is false, so instrumentation can stay compiled into the dataplane hot
+    path (PR 1's allocation-free cycle) at no cost.  The shared {!disabled}
+    instance is never mutated and is therefore safe to share across domains
+    (parallel {!Reflex_experiments.Runner} workers). *)
+
+open Reflex_engine
+open Reflex_stats
+
+(** Request lifecycle stages, in hop order along the ReFlex request path. *)
+module Stage : sig
+  type t =
+    | Client_submit  (** client library issued the request *)
+    | Server_rx  (** dataplane pulled it off the rx ring *)
+    | Sched_enqueue  (** parsed and enqueued with the QoS scheduler *)
+    | Granted  (** token grant: scheduler released it for submission *)
+    | Nvme_submit  (** accepted by the NVMe submission queue *)
+    | Nvme_complete  (** flash completion observed on the CQ *)
+    | Tx_resp  (** response handed to the NIC/TCP layer *)
+    | Client_complete  (** response delivered back to the client *)
+
+  val count : int
+  val to_int : t -> int
+  val of_int : int -> t
+  val name : t -> string
+
+  (** [component_names.(i)] names the latency component ending at stage
+      [i+1].  The seven components tile [client_submit, client_complete]
+      exactly, so a complete request's components sum to its end-to-end
+      latency by construction. *)
+  val component_names : string array
+
+  val component_count : int
+end
+
+(** Why the Algorithm-1 scheduler made a throttling/token decision. *)
+module Decision : sig
+  type kind =
+    | Throttled  (** LC tenant left demand queued: token balance at floor *)
+    | Deficit_limit  (** LC balance below NEG_LIMIT: control plane notified *)
+    | Donated  (** LC balance above POS_LIMIT donated to the global bucket *)
+    | Be_bucket_take  (** BE tenant claimed tokens from the global bucket *)
+    | Be_starved  (** BE tenant left demand queued: could not fully pay *)
+    | Be_idle_drain  (** idle BE tenant's balance returned to the bucket *)
+    | Bucket_reset  (** this thread's round marked the global-bucket reset *)
+
+  val to_int : kind -> int
+  val of_int : int -> kind
+  val name : kind -> string
+end
+
+type t
+
+(** Handle to a registered counter.  Mutating a handle obtained from a
+    disabled instance is a silent no-op sink. *)
+type counter
+
+(** One sampler tick: all registered metrics read at [s_time], sorted by
+    metric name (deterministic across runs and domains). *)
+type sample = private { s_time : Time.t; s_values : (string * float) array }
+
+(** The shared always-disabled instance.  All record operations on it are
+    no-ops; it is never mutated, hence domain-safe. *)
+val disabled : t
+
+(** [create ()] makes an enabled instance.  [span_capacity] and
+    [decision_capacity] bound the ring buffers (oldest entries are
+    overwritten on wraparound). *)
+val create : ?span_capacity:int -> ?decision_capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** {1 Lifecycle spans} *)
+
+(** [span t ~now ~tenant ~req_id stage] records one hop.  Request identity
+    is the (tenant, req_id) pair — req_ids are only unique per tenant. *)
+val span : t -> now:Time.t -> tenant:int -> req_id:int64 -> Stage.t -> unit
+
+(** Spans currently retained (<= capacity). *)
+val span_count : t -> int
+
+(** Spans ever recorded, including overwritten ones. *)
+val spans_recorded : t -> int
+
+(** Spans lost to wraparound. *)
+val spans_dropped : t -> int
+
+(** Oldest-first over the retained window. *)
+val iter_spans :
+  t -> (time:Time.t -> tenant:int -> req_id:int64 -> stage:Stage.t -> unit) -> unit
+
+(** {1 Scheduler decision log} *)
+
+val decision :
+  t ->
+  now:Time.t ->
+  thread:int ->
+  tenant:int ->
+  Decision.kind ->
+  amount:float ->
+  tokens_after:float ->
+  unit
+
+val decision_count : t -> int
+val decisions_recorded : t -> int
+
+val iter_decisions :
+  t ->
+  (time:Time.t ->
+  thread:int ->
+  tenant:int ->
+  kind:Decision.kind ->
+  amount:float ->
+  tokens_after:float ->
+  unit) ->
+  unit
+
+(** {1 Metrics registry}
+
+    Metric names are slash-separated paths, e.g. ["core/thread0/rounds"],
+    ["qos/t7/tokens"], ["flash/read_ns"]. *)
+
+(** Get or create a named counter.  On a disabled instance this returns a
+    shared sink that guarded record sites never write. *)
+val counter : t -> string -> counter
+
+val add : counter -> float -> unit
+val incr : counter -> unit
+val counter_value : counter -> float
+
+(** [register_gauge t name f] samples [f ()] at each sampler tick. *)
+val register_gauge : t -> string -> (unit -> float) -> unit
+
+val unregister : t -> string -> unit
+
+(** Get or create a named latency histogram (values in nanoseconds). *)
+val histogram : t -> string -> Hdr_histogram.t
+
+(** Registered metric names, sorted. *)
+val metric_names : t -> string list
+
+(** {1 Per-tenant SLO dimensions} *)
+
+val set_tenant_slo : t -> tenant:int -> latency_critical:bool -> latency_us:int -> unit
+
+(** [(latency_critical, latency_us)] if registered. *)
+val tenant_slo : t -> tenant:int -> (bool * int) option
+
+val tenants_with_slo : t -> int list
+
+(** End-to-end server-side latency histogram for a tenant (ns). *)
+val tenant_latency_hist : t -> tenant:int -> Hdr_histogram.t
+
+val record_tenant_latency : t -> tenant:int -> int64 -> unit
+
+(** {1 Sampling} *)
+
+(** Snapshot every registered metric now. *)
+val sample : t -> now:Time.t -> unit
+
+(** [start_sampler t sim ()] snapshots all metrics every [interval]
+    (default 1ms) of sim time, as a {e daemon} event ({!Sim.every_daemon}):
+    the sampler never keeps the simulation alive on its own and does not
+    perturb simulation state, so telemetry-on results equal telemetry-off
+    results bit for bit.  Idempotent per instance. *)
+val start_sampler : t -> Sim.t -> ?interval:Time.t -> unit -> unit
+
+(** Chronological samples. *)
+val samples : t -> sample list
+
+val sample_count : t -> int
+
+(** {1 Plain-text reports} *)
+
+(** Final value of every metric (histograms: n/mean/p95/p99 in µs). *)
+val metrics_report : t -> string
+
+(** One line per (tick, metric): [t_ms name value].  [prefix] filters by
+    metric-name prefix. *)
+val timeseries_report : ?prefix:string -> t -> string
+
+(** Last [limit] (default 40) scheduler decisions. *)
+val decisions_report : ?limit:int -> t -> string

@@ -1,0 +1,222 @@
+open Reflex_engine
+
+(* Turn the raw span ring into per-request views:
+   - Chrome trace_event JSON (load in about://tracing or Perfetto);
+   - a per-request latency breakdown whose seven components telescope
+     exactly to the end-to-end latency;
+   - an aggregate per-component summary.
+
+   Requests are keyed by the (tenant, req_id) pair — req_ids are only
+   unique per tenant/connection. *)
+
+type request = {
+  r_tenant : int;
+  r_req_id : int64;
+  r_stamps : int64 array; (* Stage.count entries; -1L = stage not seen *)
+}
+
+(* Insertion-ordered collection: ring iteration is oldest-first, so the
+   resulting request list is ordered by first-seen stage, which makes all
+   downstream reports deterministic. *)
+let requests tel =
+  let order : (int * int64) list ref = ref [] in
+  let by_key : (int * int64, request) Hashtbl.t = Hashtbl.create 1024 in
+  Telemetry.iter_spans tel (fun ~time ~tenant ~req_id ~stage ->
+      let key = (tenant, req_id) in
+      let r =
+        match Hashtbl.find_opt by_key key with
+        | Some r -> r
+        | None ->
+          let r =
+            { r_tenant = tenant; r_req_id = req_id;
+              r_stamps = Array.make Telemetry.Stage.count (-1L) }
+          in
+          Hashtbl.replace by_key key r;
+          order := key :: !order;
+          r
+      in
+      r.r_stamps.(Telemetry.Stage.to_int stage) <- time);
+  List.rev_map (Hashtbl.find by_key) !order
+
+(* A request is usable for breakdowns when every stage was stamped and the
+   stamps are monotone (a request whose early spans were overwritten by
+   ring wraparound fails the first check). *)
+let complete r =
+  let ok = ref true in
+  Array.iter (fun s -> if s < 0L then ok := false) r.r_stamps;
+  if !ok then
+    for i = 0 to Telemetry.Stage.count - 2 do
+      if r.r_stamps.(i + 1) < r.r_stamps.(i) then ok := false
+    done;
+  !ok
+
+type breakdown = {
+  b_tenant : int;
+  b_req_id : int64;
+  b_start : Time.t;
+  b_total : Time.t; (* end-to-end client latency *)
+  b_components : Time.t array; (* Stage.component_count entries; sums to b_total *)
+}
+
+let breakdown_of_request r =
+  let n = Telemetry.Stage.component_count in
+  let comps = Array.make n 0L in
+  for i = 0 to n - 1 do
+    comps.(i) <- Time.diff r.r_stamps.(i + 1) r.r_stamps.(i)
+  done;
+  {
+    b_tenant = r.r_tenant;
+    b_req_id = r.r_req_id;
+    b_start = r.r_stamps.(0);
+    b_total = Time.diff r.r_stamps.(Telemetry.Stage.count - 1) r.r_stamps.(0);
+    b_components = comps;
+  }
+
+let breakdowns tel = List.filter complete (requests tel) |> List.map breakdown_of_request
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text reports                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let breakdown_report ?(top = 10) tel =
+  let bds = breakdowns tel in
+  let n = List.length bds in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "== per-request latency breakdown (%d complete requests; top %d by latency) ==\n"
+       n (min top n));
+  Buffer.add_string buf (Printf.sprintf "%-8s %-10s %10s |" "tenant" "req" "total_us");
+  Array.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf " %12s" c))
+    Telemetry.Stage.component_names;
+  Buffer.add_char buf '\n';
+  let worst =
+    List.sort (fun a b -> compare b.b_total a.b_total) bds |> fun l ->
+    List.filteri (fun i _ -> i < top) l
+  in
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "t%-7d %-10Ld %10.2f |" b.b_tenant b.b_req_id (Time.to_float_us b.b_total));
+      Array.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf " %12.2f" (Time.to_float_us c)))
+        b.b_components;
+      Buffer.add_char buf '\n')
+    worst;
+  Buffer.contents buf
+
+type component_stat = {
+  cs_name : string;
+  cs_mean_us : float;
+  cs_p95_us : float;
+  cs_max_us : float;
+  cs_share : float; (* fraction of total end-to-end time spent here *)
+}
+
+let component_summary tel =
+  let bds = breakdowns tel in
+  let n = Telemetry.Stage.component_count in
+  let sums = Array.make n 0.0 in
+  let maxs = Array.make n 0.0 in
+  let hists = Array.init n (fun _ -> Reflex_stats.Hdr_histogram.create ()) in
+  let total = ref 0.0 in
+  List.iter
+    (fun b ->
+      total := !total +. Time.to_float_us b.b_total;
+      Array.iteri
+        (fun i c ->
+          let us = Time.to_float_us c in
+          sums.(i) <- sums.(i) +. us;
+          if us > maxs.(i) then maxs.(i) <- us;
+          Reflex_stats.Hdr_histogram.record hists.(i) c)
+        b.b_components)
+    bds;
+  let count = List.length bds in
+  Array.init n (fun i ->
+      {
+        cs_name = Telemetry.Stage.component_names.(i);
+        cs_mean_us = (if count = 0 then 0.0 else sums.(i) /. float_of_int count);
+        cs_p95_us = Reflex_stats.Hdr_histogram.percentile_us hists.(i) 95.0;
+        cs_max_us = maxs.(i);
+        cs_share = (if !total <= 0.0 then 0.0 else sums.(i) /. !total);
+      })
+
+let component_report tel =
+  let stats = component_summary tel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "== latency component summary (complete requests) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %12s %12s %12s %8s\n" "component" "mean_us" "p95_us" "max_us" "share");
+  Array.iter
+    (fun cs ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %12.2f %12.2f %12.2f %7.1f%%\n" cs.cs_name cs.cs_mean_us cs.cs_p95_us
+           cs.cs_max_us (100.0 *. cs.cs_share)))
+    stats;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One complete "X" (duration) event per latency component, plus an
+   instant event per raw span so incomplete requests still show up.
+   pid = tenant id, tid = dataplane-visible request id.  Chrome expects
+   [ts]/[dur] in microseconds (floats allowed). *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_chrome_json tel =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  (* Duration events: one per component of each complete request. *)
+  List.iter
+    (fun b ->
+      let t = ref b.b_start in
+      Array.iteri
+        (fun i c ->
+          sep ();
+          Buffer.add_string buf "{\"name\":";
+          add_json_string buf Telemetry.Stage.component_names.(i);
+          Buffer.add_string buf ",\"cat\":\"request\",\"ph\":\"X\",\"ts\":";
+          Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us !t));
+          Buffer.add_string buf ",\"dur\":";
+          Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us c));
+          Buffer.add_string buf
+            (Printf.sprintf ",\"pid\":%d,\"tid\":%Ld,\"args\":{\"req\":%Ld}}" b.b_tenant b.b_req_id
+               b.b_req_id);
+          t := Time.add !t c)
+        b.b_components)
+    (breakdowns tel);
+  (* Instant events: every raw span, so wrap-truncated requests are still
+     visible on the timeline. *)
+  Telemetry.iter_spans tel (fun ~time ~tenant ~req_id ~stage ->
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf (Telemetry.Stage.name stage);
+      Buffer.add_string buf ",\"cat\":\"span\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us time));
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%Ld}" tenant req_id));
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_chrome_json tel path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json tel))

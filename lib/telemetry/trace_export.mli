@@ -1,0 +1,59 @@
+(** Exporters over the telemetry span ring: Chrome [trace_event] JSON and
+    plain-text per-request latency breakdowns.
+
+    Requests are identified by the (tenant, req_id) pair.  A request is
+    {e complete} when all {!Telemetry.Stage.count} stages were stamped with
+    monotone times; its seven components tile the end-to-end interval, so
+    their sum equals the total latency exactly. *)
+
+open Reflex_engine
+
+type request = {
+  r_tenant : int;
+  r_req_id : int64;
+  r_stamps : int64 array;  (** [Stage.count] entries; [-1L] = not seen *)
+}
+
+(** All requests reconstructible from the retained span window, in
+    first-seen order (deterministic). *)
+val requests : Telemetry.t -> request list
+
+val complete : request -> bool
+
+type breakdown = {
+  b_tenant : int;
+  b_req_id : int64;
+  b_start : Time.t;
+  b_total : Time.t;  (** end-to-end client latency *)
+  b_components : Time.t array;
+      (** [Stage.component_count] entries; sums to [b_total] *)
+}
+
+val breakdown_of_request : request -> breakdown
+
+(** Breakdowns of the complete requests, first-seen order. *)
+val breakdowns : Telemetry.t -> breakdown list
+
+(** Top [top] (default 10) requests by end-to-end latency, one line each
+    with all seven components in µs. *)
+val breakdown_report : ?top:int -> Telemetry.t -> string
+
+type component_stat = {
+  cs_name : string;
+  cs_mean_us : float;
+  cs_p95_us : float;
+  cs_max_us : float;
+  cs_share : float;  (** fraction of summed end-to-end time spent here *)
+}
+
+(** Aggregate statistics per latency component, over complete requests. *)
+val component_summary : Telemetry.t -> component_stat array
+
+val component_report : Telemetry.t -> string
+
+(** Chrome [trace_event] JSON (load in [about://tracing] or Perfetto):
+    one ["ph":"X"] duration event per component of each complete request
+    (pid = tenant, tid = req_id) plus one instant event per raw span. *)
+val to_chrome_json : Telemetry.t -> string
+
+val write_chrome_json : Telemetry.t -> string -> unit

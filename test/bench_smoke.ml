@@ -1,16 +1,23 @@
 (* Smoke test for the benchmark harness plumbing: drives a tiny sweep
    through the parallel experiment runner (as `bench/main.exe --jobs N`
    does for the real figures) and checks the fan-out/merge produces the
-   same table as a serial run.  Wired into `dune runtest` via the
-   `bench-smoke` alias so harness regressions surface without paying for
-   a full figure reproduction. *)
+   same table as a serial run.  Also times the same sweep with telemetry
+   enabled vs disabled: the simulated results must be bit-identical
+   (telemetry observes, never perturbs) and the wall-clock overhead is
+   reported so instrumentation-cost regressions surface in CI.
+
+   Wired into `dune runtest` via the `bench-smoke` alias; pass
+   `--json PATH` (as `make check` does) to also record the numbers in a
+   machine-readable file tracked alongside BENCH_*.json. *)
 
 open Reflex_engine
 open Reflex_client
 open Reflex_experiments
+open Reflex_telemetry
 
-let point rate =
-  let w = Common.make_reflex () in
+let point ?(telemetry = false) rate =
+  let telemetry = if telemetry then Telemetry.create () else Telemetry.disabled in
+  let w = Common.make_reflex ~telemetry () in
   let sim = w.Common.sim in
   let client = Common.client_of w ~tenant:1 () in
   let until = Time.add (Sim.now sim) (Time.ms 60) in
@@ -36,18 +43,87 @@ let table rows =
     rows;
   Reflex_stats.Table.render t
 
+(* Wall time of [f] repeated [reps] times, keeping the last result. *)
+let timed reps f =
+  let t0 = Unix.gettimeofday () in
+  let r = ref (f ()) in
+  for _ = 2 to reps do
+    r := f ()
+  done;
+  (Unix.gettimeofday () -. t0, !r)
+
+let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
+    ~iops_delta_pct =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"parallel_eq_serial\": %b,\n" parallel_eq;
+  Printf.fprintf oc "  \"wall_s_parallel\": %.3f,\n" wall_parallel;
+  Printf.fprintf oc "  \"telemetry\": {\n";
+  Printf.fprintf oc "    \"off_wall_s\": %.3f,\n" off_s;
+  Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" on_s;
+  Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" overhead_pct;
+  Printf.fprintf oc "    \"iops_delta_pct\": %.6f\n" iops_delta_pct;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"points\": [\n";
+  List.iteri
+    (fun i (rate, kiops, p95) ->
+      Printf.fprintf oc
+        "    {\"offered_kiops\": %.1f, \"achieved_kiops\": %.6f, \"p95_us\": %.6f}%s\n"
+        (rate /. 1e3) kiops p95
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path
+
 let () =
+  let json_path =
+    match Array.to_list Sys.argv with
+    | _ :: "--json" :: p :: _ -> Some p
+    | _ -> None
+  in
   let rates = [ 40e3; 80e3; 120e3; 160e3 ] in
   let t0 = Unix.gettimeofday () in
-  let parallel = table (Runner.map ~jobs:2 point rates) in
+  let rows = Runner.map ~jobs:2 point rates in
+  let parallel = table rows in
+  let wall_parallel = Unix.gettimeofday () -. t0 in
   let serial = table (Runner.map ~jobs:1 point rates) in
   print_string parallel;
   Printf.printf "[bench smoke: %d points through the parallel runner in %.1fs]\n"
-    (List.length rates)
-    (Unix.gettimeofday () -. t0);
-  if String.equal parallel serial then print_endline "bench smoke OK: parallel == serial"
+    (List.length rates) wall_parallel;
+  let parallel_eq = String.equal parallel serial in
+  if parallel_eq then print_endline "bench smoke OK: parallel == serial"
   else begin
     print_endline "bench smoke FAILED: parallel and serial tables differ";
-    print_string serial;
-    exit 1
-  end
+    print_string serial
+  end;
+  (* Telemetry cost: same serial sweep with the observability layer off
+     vs on.  The simulated numbers must match exactly — the span ring,
+     counters and daemon sampler observe the simulation but never
+     schedule work that perturbs it. *)
+  let reps = 3 in
+  let off_s, off_rows = timed reps (fun () -> List.map (point ~telemetry:false) rates) in
+  let on_s, on_rows = timed reps (fun () -> List.map (point ~telemetry:true) rates) in
+  let sim_identical =
+    List.for_all2
+      (fun (_, k0, p0) (_, k1, p1) -> Float.equal k0 k1 && Float.equal p0 p1)
+      off_rows on_rows
+  in
+  let iops_delta_pct =
+    List.fold_left2
+      (fun acc (_, k0, _) (_, k1, _) ->
+        Float.max acc (if k0 = 0.0 then 0.0 else Float.abs (k1 -. k0) /. k0 *. 100.0))
+      0.0 off_rows on_rows
+  in
+  let overhead_pct = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
+  Printf.printf
+    "[telemetry: off %.2fs / on %.2fs over %dx%d points -> %+.1f%% wall overhead, \
+     %.4f%% sim IOPS delta]\n"
+    off_s on_s reps (List.length rates) overhead_pct iops_delta_pct;
+  if sim_identical then print_endline "bench smoke OK: telemetry-on results == telemetry-off"
+  else print_endline "bench smoke FAILED: telemetry perturbed the simulated results";
+  (match json_path with
+  | Some p ->
+    write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
+  | None -> ());
+  if not (parallel_eq && sim_identical) then exit 1

@@ -47,11 +47,25 @@ let test_hdr_merge_reset () =
   Hdr_histogram.reset a;
   Alcotest.(check int) "reset count" 0 (Hdr_histogram.count a)
 
-let test_hdr_empty_raises () =
+let test_hdr_empty_defined () =
   let h = Hdr_histogram.create () in
-  Alcotest.check_raises "empty percentile"
-    (Invalid_argument "Hdr_histogram.percentile: empty") (fun () ->
-      ignore (Hdr_histogram.percentile h 50.0))
+  (* Empty histogram: every percentile is the defined value 0. *)
+  List.iter
+    (fun p -> Alcotest.(check int64) (Printf.sprintf "empty p%.0f" p) 0L (Hdr_histogram.percentile h p))
+    [ 0.0; 50.0; 99.9; 100.0 ];
+  Alcotest.check_raises "out-of-range p still raises"
+    (Invalid_argument "Hdr_histogram.percentile: out of range") (fun () ->
+      ignore (Hdr_histogram.percentile h 101.0))
+
+let test_hdr_single_sample () =
+  (* A single-sample histogram reports exactly that sample for every p,
+     even when the value lands in a coarse log bucket. *)
+  let h = Hdr_histogram.create () in
+  let v = 123_456_789L in
+  Hdr_histogram.record h v;
+  List.iter
+    (fun p -> Alcotest.(check int64) (Printf.sprintf "single p%.1f" p) v (Hdr_histogram.percentile h p))
+    [ 0.0; 0.1; 50.0; 99.9; 100.0 ]
 
 let prop_hdr_vs_reservoir =
   QCheck.Test.make ~name:"hdr percentile within 3% of exact" ~count:50
@@ -208,7 +222,8 @@ let suite =
         Alcotest.test_case "mean" `Quick test_hdr_mean;
         Alcotest.test_case "bounded relative error" `Quick test_hdr_relative_error;
         Alcotest.test_case "merge and reset" `Quick test_hdr_merge_reset;
-        Alcotest.test_case "empty raises" `Quick test_hdr_empty_raises;
+        Alcotest.test_case "empty is defined" `Quick test_hdr_empty_defined;
+        Alcotest.test_case "single sample exact" `Quick test_hdr_single_sample;
         qcheck prop_hdr_vs_reservoir;
         qcheck prop_hdr_monotone;
       ] );

@@ -1,0 +1,331 @@
+(* Tests for the telemetry layer: ring wraparound, disabled-path no-ops,
+   Chrome trace JSON well-formedness (via a minimal JSON parser), the
+   components-tile-end-to-end invariant, and byte-identical telemetry
+   reports under Runner domain parallelism. *)
+
+open Reflex_engine
+open Reflex_client
+open Reflex_telemetry
+open Reflex_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Span / decision ring wraparound                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_ring_wraparound () =
+  let t = Telemetry.create ~span_capacity:8 () in
+  for i = 0 to 19 do
+    Telemetry.span t ~now:(Int64.of_int (i * 10)) ~tenant:1 ~req_id:(Int64.of_int i)
+      Telemetry.Stage.Client_submit
+  done;
+  Alcotest.(check int) "retained" 8 (Telemetry.span_count t);
+  Alcotest.(check int) "recorded" 20 (Telemetry.spans_recorded t);
+  Alcotest.(check int) "dropped" 12 (Telemetry.spans_dropped t);
+  (* Oldest-first iteration over the retained window must yield exactly
+     the 8 newest spans: req_ids 12..19. *)
+  let seen = ref [] in
+  Telemetry.iter_spans t (fun ~time:_ ~tenant:_ ~req_id ~stage:_ ->
+      seen := Int64.to_int req_id :: !seen);
+  Alcotest.(check (list int)) "newest kept, oldest-first" [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.rev !seen)
+
+let test_decision_ring_wraparound () =
+  let t = Telemetry.create ~decision_capacity:4 () in
+  for i = 0 to 9 do
+    Telemetry.decision t ~now:(Int64.of_int i) ~thread:0 ~tenant:i Telemetry.Decision.Throttled
+      ~amount:(float_of_int i) ~tokens_after:0.0
+  done;
+  Alcotest.(check int) "retained" 4 (Telemetry.decision_count t);
+  Alcotest.(check int) "recorded" 10 (Telemetry.decisions_recorded t);
+  let seen = ref [] in
+  Telemetry.iter_decisions t
+    (fun ~time:_ ~thread:_ ~tenant ~kind:_ ~amount:_ ~tokens_after:_ ->
+      seen := tenant :: !seen);
+  Alcotest.(check (list int)) "newest kept" [ 6; 7; 8; 9 ] (List.rev !seen)
+
+let test_disabled_noop () =
+  let t = Telemetry.disabled in
+  Telemetry.span t ~now:0L ~tenant:1 ~req_id:1L Telemetry.Stage.Server_rx;
+  Telemetry.decision t ~now:0L ~thread:0 ~tenant:1 Telemetry.Decision.Donated ~amount:1.0
+    ~tokens_after:1.0;
+  let c = Telemetry.counter t "x/y" in
+  Telemetry.incr c;
+  Telemetry.sample t ~now:0L;
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled t);
+  Alcotest.(check int) "no spans" 0 (Telemetry.span_count t);
+  Alcotest.(check int) "no decisions" 0 (Telemetry.decision_count t);
+  Alcotest.(check int) "no samples" 0 (Telemetry.sample_count t);
+  Alcotest.(check (list string)) "no metrics" [] (Telemetry.metric_names t)
+
+let test_sample_sorted () =
+  let t = Telemetry.create () in
+  (* Register in non-sorted order; samples must come out name-sorted. *)
+  List.iter
+    (fun n -> Telemetry.register_gauge t n (fun () -> 1.0))
+    [ "z/last"; "a/first"; "m/mid" ];
+  Telemetry.sample t ~now:0L;
+  match Telemetry.samples t with
+  | [ s ] ->
+    let names = Array.to_list (Array.map fst s.Telemetry.s_values) in
+    Alcotest.(check (list string)) "sorted" [ "a/first"; "m/mid"; "z/last" ] names
+  | l -> Alcotest.failf "expected 1 sample, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* A small traced world                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One LC tenant + one BE write flood on one core, traced end to end.
+   Small enough for unit tests, busy enough that queueing and grants
+   actually happen. *)
+let traced_world ?(rate = 30_000.0) () =
+  let telemetry = Telemetry.create () in
+  let w = Common.make_reflex ~n_threads:1 ~telemetry () in
+  let sim = w.Common.sim in
+  Telemetry.start_sampler telemetry sim ();
+  let until = Time.add (Sim.now sim) (Time.sec 1) in
+  let lc =
+    Common.client_of w ~slo:(Common.lc_slo ~latency_us:500 ~iops:50_000 ~read_pct:80) ~tenant:1 ()
+  in
+  let g_lc =
+    Load_gen.open_loop sim ~client:lc ~pacing:`Cbr ~mix:`Deterministic ~rate ~read_ratio:0.8
+      ~bytes:4096 ~until ~seed:7L ()
+  in
+  let be = Common.client_of w ~slo:(Common.be_slo ~read_pct:10 ()) ~tenant:101 () in
+  let g_be =
+    Load_gen.closed_loop sim ~client:be ~depth:16 ~read_ratio:0.1 ~bytes:4096 ~until ~seed:11L ()
+  in
+  Common.measure_generators sim [ g_lc; g_be ] ~warmup:(Time.ms 20) ~window:(Time.ms 60);
+  telemetry
+
+let test_components_tile () =
+  let tel = traced_world () in
+  let bds = Trace_export.breakdowns tel in
+  Alcotest.(check bool) "some complete requests" true (List.length bds > 100);
+  List.iter
+    (fun b ->
+      let sum = Array.fold_left Time.add 0L b.Trace_export.b_components in
+      Alcotest.(check int64)
+        (Printf.sprintf "components sum to total (t%d req %Ld)" b.Trace_export.b_tenant
+           b.Trace_export.b_req_id)
+        b.Trace_export.b_total sum;
+      Array.iter
+        (fun c -> Alcotest.(check bool) "component non-negative" true Time.(c >= 0L))
+        b.Trace_export.b_components)
+    bds
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (validation only)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Bad "unterminated string");
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              (match peek () with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+              | _ -> raise (Bad "bad \\u escape"));
+              advance ()
+            done;
+            Buffer.add_char b '?'
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let sub = String.sub s start (!pos - start) in
+      match float_of_string_opt sub with
+      | Some f -> f
+      | None -> raise (Bad ("bad number: " ^ sub))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+          in
+          members []
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); List (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+          in
+          items []
+      | 't' -> pos := !pos + 4; Bool true
+      | 'f' -> pos := !pos + 5; Bool false
+      | 'n' -> pos := !pos + 4; Null
+      | _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad (Printf.sprintf "trailing garbage at %d" !pos));
+    v
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+let test_chrome_json_roundtrip () =
+  let tel = traced_world () in
+  let json = Trace_export.to_chrome_json tel in
+  let v =
+    try Json.parse json with Json.Bad m -> Alcotest.failf "trace JSON did not parse: %s" m
+  in
+  (match Json.mem "displayTimeUnit" v with
+  | Some (Json.Str _) -> ()
+  | _ -> Alcotest.fail "missing displayTimeUnit");
+  let events =
+    match Json.mem "traceEvents" v with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let n_complete = List.length (Trace_export.breakdowns tel) in
+  let xs =
+    List.filter (fun e -> Json.mem "ph" e = Some (Json.Str "X")) events
+  in
+  Alcotest.(check int) "7 duration events per complete request"
+    (n_complete * Telemetry.Stage.component_count)
+    (List.length xs);
+  (* Every event carries the required trace_event fields with sane types. *)
+  List.iter
+    (fun e ->
+      (match Json.mem "name" e with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "event missing name");
+      (match Json.mem "ts" e with
+      | Some (Json.Num ts) -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+      | _ -> Alcotest.fail "event missing ts");
+      match (Json.mem "pid" e, Json.mem "tid" e) with
+      | Some (Json.Num _), Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "event missing pid/tid")
+    events;
+  (* Duration events of one request tile its interval: per (pid, tid),
+     sum(dur) = max(ts+dur) - min(ts). *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match (Json.mem "pid" e, Json.mem "tid" e, Json.mem "ts" e, Json.mem "dur" e) with
+      | Some (Json.Num pid), Some (Json.Num tid), Some (Json.Num ts), Some (Json.Num dur) ->
+        let k = (pid, tid) in
+        let sum, lo, hi =
+          match Hashtbl.find_opt tbl k with Some x -> x | None -> (0.0, infinity, neg_infinity)
+        in
+        Hashtbl.replace tbl k (sum +. dur, Float.min lo ts, Float.max hi (ts +. dur))
+      | _ -> ())
+    xs;
+  Hashtbl.iter
+    (fun (pid, tid) (sum, lo, hi) ->
+      if Float.abs (sum -. (hi -. lo)) > 1e-3 then
+        Alcotest.failf "request (pid=%g,tid=%g): components %.3fus <> span %.3fus" pid tid sum
+          (hi -. lo))
+    tbl
+
+(* ------------------------------------------------------------------ *)
+(* Determinism under Runner parallelism                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each sweep point builds its own world with its own telemetry, so the
+   full observability output (sampled metrics + component summary + SLO
+   audit) must be byte-identical between a parallel and a serial run. *)
+let test_parallel_determinism () =
+  let point rate =
+    let tel = traced_world ~rate () in
+    Telemetry.metrics_report tel ^ Trace_export.component_report tel ^ Slo_audit.report tel
+  in
+  let rates = [ 20_000.0; 35_000.0; 50_000.0 ] in
+  let serial = Runner.map ~jobs:1 point rates in
+  let parallel = Runner.map ~jobs:2 point rates in
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check string) (Printf.sprintf "point %d byte-identical" i) s p)
+    (List.combine serial parallel)
+
+let suite =
+  [
+    ( "telemetry",
+      [
+        Alcotest.test_case "span ring wraparound keeps newest" `Quick test_span_ring_wraparound;
+        Alcotest.test_case "decision ring wraparound keeps newest" `Quick
+          test_decision_ring_wraparound;
+        Alcotest.test_case "disabled instance is inert" `Quick test_disabled_noop;
+        Alcotest.test_case "samples are name-sorted" `Quick test_sample_sorted;
+        Alcotest.test_case "components tile end-to-end latency" `Slow test_components_tile;
+        Alcotest.test_case "chrome trace JSON round-trips" `Slow test_chrome_json_roundtrip;
+        Alcotest.test_case "parallel runs byte-identical to serial" `Slow
+          test_parallel_determinism;
+      ] );
+  ]
