@@ -1,9 +1,10 @@
 # Developer entry points.  `make check` is the CI gate: full build, the
-# whole alcotest suite, and the bench smoke (parallel-runner sanity +
-# telemetry on/off overhead) with its numbers recorded in
-# BENCH_SMOKE.json for trend tracking.
+# whole alcotest suite, the bench smoke (parallel-runner sanity +
+# telemetry and faults on/off overhead) with its numbers recorded in
+# BENCH_SMOKE.json for trend tracking, and the chaos smoke (scripted
+# fault plan + determinism verification).
 
-.PHONY: all build test bench-smoke check trace bench clean
+.PHONY: all build test bench-smoke chaos-smoke check trace chaos bench clean
 
 all: build
 
@@ -16,14 +17,28 @@ test: build
 bench-smoke: build
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
 
+# Compressed chaos scenario with byte-identity verification (same-seed
+# rerun and serial vs two-domain parallel) — fails loudly on divergence.
+chaos-smoke: build
+	dune exec bin/reflex_sim.exe -- chaos > _build/chaos_smoke.out
+	@grep -q "SLO HELD" _build/chaos_smoke.out
+	@grep -q "same-seed rerun byte-identical: true" _build/chaos_smoke.out
+	@grep -q "serial vs --jobs 2 byte-identical: true" _build/chaos_smoke.out
+	@echo "chaos smoke OK: SLO held, retries bounded, output byte-identical"
+
 check: build
 	dune runtest
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
+	$(MAKE) chaos-smoke
 
 # Canonical telemetry scenario: per-request latency breakdowns, SLO
 # audit, scheduler decision log, Chrome trace JSON.
 trace: build
 	dune exec bin/reflex_sim.exe -- trace
+
+# Full chaos scenario with determinism debrief and SLO audit.
+chaos: build
+	dune exec bin/reflex_sim.exe -- chaos
 
 # Full figure reproduction + microbenchmarks (quick mode).
 bench: build

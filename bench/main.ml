@@ -237,6 +237,8 @@ let write_json path =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  Printf.fprintf oc "  \"git_sha\": \"%s\",\n" (Common.git_sha ());
+  Printf.fprintf oc "  \"seed\": %Ld,\n" Reflex_engine.Sim.default_seed;
   Printf.fprintf oc "  \"mode\": \"%s\",\n"
     (match !mode with Common.Quick -> "quick" | Common.Full -> "full");
   Printf.fprintf oc "  \"jobs\": %d,\n" !jobs;

@@ -3,7 +3,8 @@
      reflex_sim list
      reflex_sim run fig5 [--full] [--telemetry] [--trace-out FILE]
      reflex_sim run all  [--full]
-     reflex_sim trace    [--full] [--out FILE]                       *)
+     reflex_sim trace    [--full] [--out FILE]
+     reflex_sim chaos    [--full] [--seed N] [--no-verify]           *)
 
 open Cmdliner
 open Reflex_experiments
@@ -59,7 +60,9 @@ let list_cmd =
   let run () =
     List.iter (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc) experiments;
     Printf.printf "%-8s %s\n" "trace"
-      "canonical telemetry scenario (see 'reflex_sim trace --help')"
+      "canonical telemetry scenario (see 'reflex_sim trace --help')";
+    Printf.printf "%-8s %s\n" "chaos"
+      "scripted fault plan with retries and SLO audit (see 'reflex_sim chaos --help')"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -159,7 +162,44 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ full_arg $ out_arg)
 
+let chaos_cmd =
+  let doc =
+    "Run the scripted chaos scenario (die 0 fails at 2s for 2s, GC storm 5s..6s, link \
+     flap at 8s for 500ms; x0.1 timeline unless $(b,--full)) against the multi-tenant \
+     setup with client retries armed, and print the 500ms-bucket p95 table, the retry \
+     and fault counters, the fault-window report and the SLO audit.  By default the \
+     output is verified byte-identical across a same-seed rerun and a two-domain \
+     parallel run."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"N" ~doc:"root seed for the world, generators and injector")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
+  in
+  let run full seed no_verify =
+    let mode = if full then Common.Full else Common.Quick in
+    if no_verify then begin
+      let r = Chaos.run ~mode ~seed () in
+      print_string (Chaos.render_result r);
+      print_newline ();
+      print_string (Slo_audit.report r.Chaos.telemetry)
+    end
+    else begin
+      print_string (Chaos.debrief ~mode ~seed ());
+      let r = Chaos.run ~mode ~seed () in
+      print_newline ();
+      print_string (Slo_audit.report r.Chaos.telemetry)
+    end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ full_arg $ seed_arg $ no_verify_arg)
+
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
   let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd ]))

@@ -11,13 +11,18 @@ type t = {
 }
 
 let create sim fabric ~server_host ~accept ~n_contexts ~tenant ?(slo = Message.best_effort_slo)
-    ?(name = "blkdev-client") () k =
+    ?(name = "blkdev-client") ?retry ?(retry_seed = 0xB10C_5EEDL) () k =
   if n_contexts < 1 then invalid_arg "Blk_dev.create: n_contexts";
   (* All hardware contexts live on one machine: one NIC, one stack. *)
   let host = Fabric.add_host fabric ~name ~stack:Stack_model.linux_client in
   let contexts =
-    Array.init n_contexts (fun _ ->
-        Client_lib.connect sim fabric ~server_host ~accept ~stack:Stack_model.linux_client ~host ())
+    Array.init n_contexts (fun i ->
+        (* Each context gets its own backoff-jitter stream so retry
+           schedules across contexts stay independent. *)
+        Client_lib.connect sim fabric ~server_host ~accept ~stack:Stack_model.linux_client ~host
+          ?retry
+          ~retry_seed:Int64.(add retry_seed (of_int i))
+          ())
   in
   let t = { sim; contexts; rr = 0; completed = 0 } in
   (* Register every context's connection; ready when the last confirms. *)
@@ -60,3 +65,9 @@ let submit_bio t ~kind ~lba ~bytes k =
 
 let n_contexts t = Array.length t.contexts
 let bios_completed t = t.completed
+
+let retries t =
+  Array.fold_left (fun acc c -> acc + Client_lib.retries c) 0 t.contexts
+
+let timeouts t =
+  Array.fold_left (fun acc c -> acc + Client_lib.timeouts c) 0 t.contexts

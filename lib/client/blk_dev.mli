@@ -28,6 +28,12 @@ val create :
   tenant:int ->
   ?slo:Reflex_proto.Message.slo ->
   ?name:string ->
+  ?retry:Retry.policy ->
+  (* default none; with a policy every context arms per-attempt deadlines
+     and retries with exponential backoff (see {!Client_lib.connect}) *)
+  ?retry_seed:int64 ->
+  (* base seed for the contexts' backoff-jitter streams (context [i] uses
+     [retry_seed + i]) *)
   unit ->
   (t -> unit) ->
   unit
@@ -39,3 +45,9 @@ val submit_bio : t -> kind:Io_op.kind -> lba:int64 -> bytes:int -> (latency:Time
 
 val n_contexts : t -> int
 val bios_completed : t -> int
+
+(** Retries / deadline expiries summed across contexts (0 without a retry
+    policy). *)
+val retries : t -> int
+
+val timeouts : t -> int

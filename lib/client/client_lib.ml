@@ -3,6 +3,17 @@ open Reflex_net
 open Reflex_proto
 open Reflex_telemetry
 
+(* What a pending operation needs to be re-issued after a timeout. *)
+type op = Op_read of { lba : int64; len : int } | Op_write of { lba : int64; len : int } | Op_barrier
+
+type pending = {
+  t0 : Time.t; (* first submission — latency spans every attempt *)
+  pk : Message.status -> latency:Time.t -> unit;
+  op : op;
+  attempt : int; (* 0 = first try *)
+  timer : Sim.event_id option; (* armed only when a retry policy is set *)
+}
+
 type t = {
   sim : Sim.t;
   conn : Message.t Tcp_conn.t;
@@ -10,16 +21,45 @@ type t = {
   stack : Stack_model.t;
   client_host : Fabric.host;
   mutable next_req : int64;
-  outstanding : (int64, Time.t * (Message.status -> latency:Time.t -> unit)) Hashtbl.t;
+  outstanding : (int64, pending) Hashtbl.t;
   mutable register_k : (Message.status -> unit) option;
   mutable unregister_k : (unit -> unit) option;
   mutable handle : int option;
+  (* Resilience (lib/faults): [retry = None] (the default) keeps the
+     pre-retry behaviour exactly — no deadline timers are armed, no
+     retry PRNG exists, and requests wait forever like the paper's
+     client.  The retry PRNG is private to this client, so arming
+     retries perturbs no other component's randomness. *)
+  retry : Retry.policy option;
+  retry_prng : Prng.t;
+  mutable retries : int;
+  mutable timeouts : int;
   (* Lifecycle-span sink; [tel_on] copies its immutable enabled bit so
      the issue/complete hot paths pay one boolean test when tracing is
      off. *)
   tel : Telemetry.t;
   tel_on : bool;
+  c_retries : Telemetry.counter; (* client/retries *)
+  c_timeouts : Telemetry.counter; (* client/timeouts *)
 }
+
+let complete t req_id status =
+  match Hashtbl.find_opt t.outstanding req_id with
+  | Some p ->
+    Hashtbl.remove t.outstanding req_id;
+    (match p.timer with Some ev -> Sim.cancel t.sim ev | None -> ());
+    (if t.tel_on && p.op <> Op_barrier then
+       match t.handle with
+       | Some tenant ->
+         Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant ~req_id
+           Telemetry.Stage.Client_complete
+       | None -> ());
+    p.pk status ~latency:(Time.diff (Sim.now t.sim) p.t0)
+  | None ->
+    (* Unknown id: either a duplicate completion or a response that
+       arrived after its deadline expired and the request was re-issued
+       under a new id (at-least-once semantics) — drop it. *)
+    ()
 
 let dispatch t msg =
   match msg with
@@ -37,35 +77,18 @@ let dispatch t msg =
       t.unregister_k <- None;
       k ()
     | None -> ())
-  | Message.Barrier_resp { req_id } -> (
-    match Hashtbl.find_opt t.outstanding req_id with
-    | Some (t0, k) ->
-      Hashtbl.remove t.outstanding req_id;
-      k Message.Ok ~latency:(Time.diff (Sim.now t.sim) t0)
-    | None -> ())
+  | Message.Barrier_resp { req_id } -> complete t req_id Message.Ok
   | Message.Read_resp { req_id; status; _ }
   | Message.Write_resp { req_id; status }
-  | Message.Error_resp { req_id; status } -> (
-    match Hashtbl.find_opt t.outstanding req_id with
-    | Some (t0, k) ->
-      Hashtbl.remove t.outstanding req_id;
-      (if t.tel_on then
-         match t.handle with
-         | Some tenant ->
-           Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant ~req_id
-             Telemetry.Stage.Client_complete
-         | None -> ());
-      k status ~latency:(Time.diff (Sim.now t.sim) t0)
-    | None -> ())
+  | Message.Error_resp { req_id; status } ->
+    complete t req_id status
   | Message.Register _ | Message.Unregister _ | Message.Read_req _ | Message.Write_req _
   | Message.Barrier_req _ ->
-    (*
-
-       Server-to-client stream never carries requests; ignore. *)
+    (* Server-to-client stream never carries requests; ignore. *)
     ()
 
-let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client")
-    ?(telemetry = Telemetry.disabled) () =
+let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client") ?retry
+    ?(retry_seed = 0x2E7259_5EEDL) ?(telemetry = Telemetry.disabled) () =
   let client_host =
     match host with Some h -> h | None -> Fabric.add_host fabric ~name ~stack
   in
@@ -82,8 +105,14 @@ let connect sim fabric ~server_host ~accept ~stack ?host ?(name = "client")
       register_k = None;
       unregister_k = None;
       handle = None;
+      retry = Option.map Retry.validate retry;
+      retry_prng = Prng.create retry_seed;
+      retries = 0;
+      timeouts = 0;
       tel = telemetry;
       tel_on = Telemetry.enabled telemetry;
+      c_retries = Telemetry.counter telemetry "client/retries";
+      c_timeouts = Telemetry.counter telemetry "client/timeouts";
     }
   in
   accept conn;
@@ -108,22 +137,60 @@ let register t ~tenant ?(slo = Message.best_effort_slo) k =
 
 let handle t = t.handle
 
+let msg_of_op ~handle ~req_id = function
+  | Op_read { lba; len } -> Message.Read_req { handle; req_id; lba; len }
+  | Op_write { lba; len } -> Message.Write_req { handle; req_id; lba; len }
+  | Op_barrier -> Message.Barrier_req { handle; req_id }
+
+(* Issue one attempt of an operation.  With a retry policy armed, a
+   per-attempt deadline timer expires into [on_timeout]; the timer is
+   cancelled (closure dropped immediately, see Sim.cancel) when the
+   response lands first.  Every attempt uses a fresh request id, so a
+   late response to an abandoned attempt finds no outstanding entry and
+   is dropped — re-issue is at-least-once, completion exactly-once. *)
+let rec issue t ~handle ~t0 ~attempt ~op pk =
+  let req_id = t.next_req in
+  t.next_req <- Int64.add req_id 1L;
+  let timer =
+    match t.retry with
+    | None -> None
+    | Some policy -> Some (Sim.after t.sim policy.Retry.timeout (fun () -> on_timeout t req_id))
+  in
+  Hashtbl.replace t.outstanding req_id { t0; pk; op; attempt; timer };
+  if t.tel_on && op <> Op_barrier then
+    Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:handle ~req_id
+      Telemetry.Stage.Client_submit;
+  send t (msg_of_op ~handle ~req_id op)
+
+and on_timeout t req_id =
+  match Hashtbl.find_opt t.outstanding req_id with
+  | None -> () (* response won the race against the deadline *)
+  | Some p -> (
+    Hashtbl.remove t.outstanding req_id;
+    t.timeouts <- t.timeouts + 1;
+    if t.tel_on then Telemetry.incr t.c_timeouts;
+    let policy = Option.get t.retry in
+    let give_up () = p.pk Message.Timed_out ~latency:(Time.diff (Sim.now t.sim) p.t0) in
+    if p.attempt >= policy.Retry.max_retries then give_up ()
+    else begin
+      t.retries <- t.retries + 1;
+      if t.tel_on then Telemetry.incr t.c_retries;
+      let delay = Retry.delay_for policy ~attempt:(p.attempt + 1) ~prng:t.retry_prng in
+      ignore
+        (Sim.after t.sim delay (fun () ->
+             match t.handle with
+             | Some h -> issue t ~handle:h ~t0:p.t0 ~attempt:(p.attempt + 1) ~op:p.op p.pk
+             | None -> give_up ()))
+    end)
+
 let io t ~kind ~lba ~len k =
   match t.handle with
   | None -> failwith "Client_lib: not registered"
   | Some handle ->
-    let req_id = t.next_req in
-    t.next_req <- Int64.add req_id 1L;
-    Hashtbl.replace t.outstanding req_id (Sim.now t.sim, k);
-    if t.tel_on then
-      Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:handle ~req_id
-        Telemetry.Stage.Client_submit;
-    let msg =
-      match kind with
-      | `Read -> Message.Read_req { handle; req_id; lba; len }
-      | `Write -> Message.Write_req { handle; req_id; lba; len }
+    let op =
+      match kind with `Read -> Op_read { lba; len } | `Write -> Op_write { lba; len }
     in
-    send t msg
+    issue t ~handle ~t0:(Sim.now t.sim) ~attempt:0 ~op k
 
 let read t ~lba ~len k = io t ~kind:`Read ~lba ~len k
 let write t ~lba ~len k = io t ~kind:`Write ~lba ~len k
@@ -131,11 +198,7 @@ let write t ~lba ~len k = io t ~kind:`Write ~lba ~len k
 let barrier t k =
   match t.handle with
   | None -> failwith "Client_lib: not registered"
-  | Some handle ->
-    let req_id = t.next_req in
-    t.next_req <- Int64.add req_id 1L;
-    Hashtbl.replace t.outstanding req_id (Sim.now t.sim, k);
-    send t (Message.Barrier_req { handle; req_id })
+  | Some handle -> issue t ~handle ~t0:(Sim.now t.sim) ~attempt:0 ~op:Op_barrier k
 
 let unregister t k =
   match t.handle with
@@ -145,3 +208,5 @@ let unregister t k =
     send t (Message.Unregister { handle })
 
 let inflight t = Hashtbl.length t.outstanding
+let retries t = t.retries
+let timeouts t = t.timeouts

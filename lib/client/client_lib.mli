@@ -29,10 +29,20 @@ val connect :
   stack:Stack_model.t ->
   ?host:Fabric.host ->
   ?name:string ->
+  ?retry:Retry.policy ->
+  (* default none: requests wait forever, exactly the paper's client.
+     With a policy, each attempt carries a deadline; on expiry the
+     request is re-issued under a fresh id after an exponential jittered
+     backoff, and completes with [Message.Timed_out] once the budget is
+     exhausted.  Late responses to abandoned attempts are dropped. *)
+  ?retry_seed:int64 ->
+  (* seed of the client-private backoff-jitter stream (give each client
+     its own so schedules stay independent); default a fixed constant *)
   ?telemetry:Reflex_telemetry.Telemetry.t ->
   (* observability sink, default disabled; when enabled the client
-     records the [Client_submit]/[Client_complete] lifecycle spans and
-     the connection counts wire messages *)
+     records the [Client_submit]/[Client_complete] lifecycle spans, the
+     connection counts wire messages, and timeouts/retries tick the
+     world counters [client/timeouts] / [client/retries] *)
   unit ->
   t
 
@@ -61,3 +71,11 @@ val unregister : t -> (unit -> unit) -> unit
 
 (** Requests issued but not yet completed. *)
 val inflight : t -> int
+
+(** Attempts re-issued after a deadline expiry (0 without a retry
+    policy). *)
+val retries : t -> int
+
+(** Per-attempt deadline expiries, including the final one before a
+    [Timed_out] completion. *)
+val timeouts : t -> int

@@ -12,6 +12,12 @@ type t = {
   mutable issued : int;
   mutable completed : int;
   mutable errors : int;
+  mutable timeout_errors : int; (* Timed_out completions, a subset of errors *)
+  (* Fault injection (lib/faults): open-loop arrival-rate multiplier for
+     the misbehaving-tenant fault.  At the default 1.0 the gap
+     computation is skipped entirely, so fault-free runs stay
+     byte-identical. *)
+  mutable burst_factor : float;
   mutable measure_from : Time.t;
   mutable measure_until : Time.t option;
   mutable measured_completions : int;
@@ -28,6 +34,8 @@ let make ?(mix = `Random) sim client =
     issued = 0;
     completed = 0;
     errors = 0;
+    timeout_errors = 0;
+    burst_factor = 1.0;
     measure_from = Sim.now sim;
     measure_until = None;
     measured_completions = 0;
@@ -35,7 +43,10 @@ let make ?(mix = `Random) sim client =
 
 let record t ~kind ~issued_at status ~latency =
   t.completed <- t.completed + 1;
-  if status <> Message.Ok then t.errors <- t.errors + 1
+  if status <> Message.Ok then begin
+    t.errors <- t.errors + 1;
+    if status = Message.Timed_out then t.timeout_errors <- t.timeout_errors + 1
+  end
   else if Time.(issued_at >= t.measure_from) then begin
     let in_window =
       match t.measure_until with None -> true | Some u -> Time.(Sim.now t.sim <= u)
@@ -81,11 +92,18 @@ let open_loop sim ~client ?(pacing = `Poisson) ?mix ~rate ~read_ratio ~bytes ~un
   let prng = Prng.create seed in
   let gap_mean = 1e9 /. rate in
   let next_gap () =
-    match pacing with
-    | `Poisson -> Time.max (Time.ns 1) (Time.of_float_ns (Prng.exponential prng ~mean:gap_mean))
-    | `Cbr ->
-      (* Evenly paced with a little dither so flows do not phase-lock. *)
-      Time.max (Time.ns 1) (Time.of_float_ns (gap_mean *. Prng.float_range prng 0.95 1.05))
+    let gap =
+      match pacing with
+      | `Poisson ->
+        Time.max (Time.ns 1) (Time.of_float_ns (Prng.exponential prng ~mean:gap_mean))
+      | `Cbr ->
+        (* Evenly paced with a little dither so flows do not phase-lock. *)
+        Time.max (Time.ns 1) (Time.of_float_ns (gap_mean *. Prng.float_range prng 0.95 1.05))
+    in
+    (* Misbehaving-tenant fault: a burst factor > 1 shrinks gaps, driving
+       the generator above its declared rate.  Skipped at 1.0. *)
+    if t.burst_factor = 1.0 then gap
+    else Time.max (Time.ns 1) (Time.scale gap (1.0 /. t.burst_factor))
   in
   let rec arrival () =
     if Time.(Sim.now sim <= until) then begin
@@ -120,11 +138,17 @@ let mark_measurement_start t =
 
 let freeze_window t = t.measure_until <- Some (Sim.now t.sim)
 
+let set_burst_factor t f =
+  if f <= 0.0 then invalid_arg "Load_gen.set_burst_factor: factor";
+  t.burst_factor <- f
+
+let burst_factor t = t.burst_factor
 let reads t = t.reads
 let writes t = t.writes
 let issued t = t.issued
 let completed t = t.completed
 let errors t = t.errors
+let timeout_errors t = t.timeout_errors
 
 let achieved_iops t =
   let window_end = match t.measure_until with None -> Sim.now t.sim | Some u -> u in

@@ -65,6 +65,20 @@ val issued : t -> int
 val completed : t -> int
 val errors : t -> int
 
+(** Completions with status [Timed_out] (retry budget exhausted) — a
+    subset of {!errors}. *)
+val timeout_errors : t -> int
+
+(** {1 Fault injection}
+
+    Misbehaving-tenant fault (lib/faults): scale an open-loop generator's
+    arrival rate by [factor] (gaps shrink by [1/factor]).  [1.0] restores
+    the declared rate; closed-loop generators ignore it.
+    @raise Invalid_argument if [factor <= 0]. *)
+val set_burst_factor : t -> float -> unit
+
+val burst_factor : t -> float
+
 (** Completed IOPS over the measured window (since the last
     {!mark_measurement_start}, or creation). *)
 val achieved_iops : t -> float

@@ -2,6 +2,7 @@
     the mutilate-style load generator, and the legacy blk-mq remote block
     device driver. *)
 
+module Retry = Retry
 module Client_lib = Client_lib
 module Load_gen = Load_gen
 module Blk_dev = Blk_dev

@@ -19,6 +19,10 @@ type t = {
   mutable be_tenants : int;
   mutable lc_reserved_mixed : float;  (** sum of mixed-priced LC rates *)
   mutable strictest : float option;  (** cached; recomputed on forget *)
+  mutable capacity_factor : float;
+      (** in (0,1]: fraction of calibrated capacity currently usable —
+          lowered by the resilience layer when the device degrades
+          (die failures, GC storms) and restored on recovery *)
 }
 
 let create ?(admission_margin = 0.85) ?token_rate_fn ~profile ~cost_model () =
@@ -36,9 +40,16 @@ let create ?(admission_margin = 0.85) ?token_rate_fn ~profile ~cost_model () =
     be_tenants = 0;
     lc_reserved_mixed = 0.0;
     strictest = None;
+    capacity_factor = 1.0;
   }
 
-type admission = Admitted | Rejected_no_capacity
+type admission = Admitted | Rejected_no_capacity | Rejected_duplicate
+
+let set_capacity_factor t f =
+  if f <= 0.0 || f > 1.0 then invalid_arg "Control_plane.set_capacity_factor: factor in (0,1]";
+  t.capacity_factor <- f
+
+let capacity_factor t = t.capacity_factor
 
 let fold_lc t f init =
   Hashtbl.fold (fun id slo acc -> if Slo.is_latency_critical slo then f id slo acc else acc)
@@ -60,7 +71,7 @@ let unconstrained_latency_us = 10_000.0
 
 let total_rate_at t strictest =
   let latency_us = Option.value strictest ~default:unconstrained_latency_us in
-  t.token_rate_fn ~latency_us
+  t.token_rate_fn ~latency_us *. t.capacity_factor
 
 (* When every registered tenant declares a pure-read mix, the device
    stays on its read-only fast path and reads cost C(read, 100%) instead
@@ -101,8 +112,8 @@ let record t ~id ~slo =
   else t.be_tenants <- t.be_tenants + 1
 
 let admit t ~id ~slo =
-  if Hashtbl.mem t.tenants id then invalid_arg "Control_plane.admit: duplicate tenant id";
-  if not (Slo.is_latency_critical slo) then begin
+  if Hashtbl.mem t.tenants id then Rejected_duplicate
+  else if not (Slo.is_latency_critical slo) then begin
     record t ~id ~slo;
     Admitted
   end
@@ -166,3 +177,11 @@ let current_rates t =
 
 let registered_count t = Hashtbl.length t.tenants
 let fleet_read_only t = all_read_only_with t None
+
+(* LC tenants with their SLOs, loosest latency bound first — the order in
+   which degradation-driven demotion sheds reservations (shedding the
+   loosest reservation disturbs the strictest-SLO pricing least). *)
+let lc_tenants t =
+  fold_lc t (fun id slo acc -> (id, slo) :: acc) []
+  |> List.sort (fun (ia, a) (ib, b) ->
+         match compare b.Slo.latency_us a.Slo.latency_us with 0 -> compare ia ib | c -> c)

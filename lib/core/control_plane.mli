@@ -25,10 +25,12 @@ val create :
   unit ->
   t
 
-type admission = Admitted | Rejected_no_capacity
+type admission = Admitted | Rejected_no_capacity | Rejected_duplicate
 
 (** [admit t ~id ~slo] runs admission control and records the tenant.
-    BE tenants are always admitted. *)
+    BE tenants are always admitted.  Admitting an id that is already
+    registered returns [Rejected_duplicate] and leaves the existing
+    registration untouched (re-registering requires {!forget} first). *)
 val admit : t -> id:int -> slo:Slo.t -> admission
 
 (** Non-mutating admission check — used by the global control plane to
@@ -39,8 +41,25 @@ val can_admit : t -> slo:Slo.t -> bool
     from adding [candidate] — the global placement score input. *)
 val headroom_with : t -> candidate:Slo.t -> float
 
+(** Remove a tenant's registration and release its reservation.
+    Forgetting an unknown id is a no-op (the unregister path is
+    idempotent: a retried unregister must not fail). *)
 val forget : t -> id:int -> unit
+
 val is_registered : t -> id:int -> bool
+
+(** {1 Degradation re-pricing}
+
+    The resilience layer (lib/faults) lowers the capacity factor when the
+    device degrades — every admission decision, BE share and pushed token
+    rate immediately reflects the reduced capacity — and restores it to
+    1.0 on recovery. *)
+
+(** Set the usable fraction of calibrated capacity.
+    @raise Invalid_argument unless [0 < factor <= 1]. *)
+val set_capacity_factor : t -> float -> unit
+
+val capacity_factor : t -> float
 
 (** Strictest (lowest) latency SLO across registered LC tenants. *)
 val strictest_latency_us : t -> float option
@@ -66,6 +85,11 @@ val registered_count : t -> int
 (** True when every registered tenant declares a 100%%-read mix, in which
     case reservations are priced at C(read, 100%%). *)
 val fleet_read_only : t -> bool
+
+(** Registered LC tenants with their SLOs, loosest latency bound first
+    (ties by id) — the order in which degradation-driven demotion sheds
+    reservations. *)
+val lc_tenants : t -> (int * Slo.t) list
 
 (** The default analytic device model used when no measured calibration is
     supplied. *)

@@ -274,6 +274,16 @@ let attach_tenant t ~id ~slo ~token_rate ~backlog =
   add_tenant t ~id ~slo ~token_rate;
   List.iter (fun (kind, bytes, payload) -> receive t ~tenant_id:id ~kind ~bytes payload) backlog
 
+(* Fault injection: occupy the thread's core with an uninterruptible
+   burst of "other work" (interrupt storm, page-cache shootdown, noisy
+   co-tenant on the shared core).  High priority so it runs ahead of
+   queued cycle steps; the dataplane's own work queues behind it exactly
+   as it would behind a hogged physical core. *)
+let inject_stall t ~duration =
+  if Time.(duration <= Time.zero) then invalid_arg "Dataplane.inject_stall: duration";
+  Resource.submit t.core ~priority:Resource.High ~service:duration
+    (fun ~started:_ ~finished:_ -> ())
+
 let set_conn_count t n = t.conns <- n
 let utilization t = Resource.utilization t.core
 let requests_completed t = t.completed

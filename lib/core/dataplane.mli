@@ -84,6 +84,14 @@ val receive : 'a t -> tenant_id:int -> kind:Io_op.kind -> bytes:int -> 'a -> uni
     model). *)
 val set_conn_count : 'a t -> int -> unit
 
+(** {1 Fault injection}
+
+    [inject_stall t ~duration] occupies the thread's core with
+    [duration] of high-priority foreign work (interrupt storm, noisy
+    co-tenant): pending cycle steps queue behind it, exactly as behind a
+    hogged physical core.  @raise Invalid_argument if [duration <= 0]. *)
+val inject_stall : 'a t -> duration:Time.t -> unit
+
 (** {1 Observability} *)
 
 val utilization : 'a t -> float

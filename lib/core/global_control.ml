@@ -52,4 +52,10 @@ let place_and_admit t ~id ~slo =
          single source of truth. *)
       Control_plane.forget (Server.control_plane p.server) ~id;
       Some p
-    | Control_plane.Rejected_no_capacity -> None)
+    | Control_plane.Rejected_no_capacity | Control_plane.Rejected_duplicate -> None)
+
+(* Re-placement after a fault: like [place] but never returns a server in
+   [excluding] (the degraded one the tenant is being moved away from). *)
+let place_excluding t ~slo ~excluding =
+  let filtered = { pool = List.filter (fun (name, _) -> name <> excluding) t.pool } in
+  place filtered ~slo

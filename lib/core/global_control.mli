@@ -35,3 +35,8 @@ val place : t -> slo:Slo.t -> placement option
 (** Convenience: place and register in one step (the caller connects its
     clients to the returned server).  [None] if no server admits. *)
 val place_and_admit : t -> id:int -> slo:Slo.t -> placement option
+
+(** [place_excluding t ~slo ~excluding] is {!place} restricted to servers
+    other than [excluding] — used by the resilience layer to move a
+    tenant off a degraded server. *)
+val place_excluding : t -> slo:Slo.t -> excluding:string -> placement option

@@ -253,6 +253,11 @@ let handle_register t ~tenant ~(slo : Message.slo) ~registered_handle =
     match Control_plane.admit t.control_plane ~id:tenant ~slo with
     | Control_plane.Rejected_no_capacity ->
       Some (Message.Registered { handle = tenant; status = Message.No_capacity })
+    | Control_plane.Rejected_duplicate ->
+      (* Unreachable: [is_registered] was checked above, and nothing can
+         register the id between the check and the admit on the
+         single-threaded event loop; answer defensively anyway. *)
+      Some (Message.Registered { handle = tenant; status = Message.Bad_request })
     | Control_plane.Admitted ->
       let thread = least_loaded_thread t in
       let rate =
@@ -451,3 +456,55 @@ let thread_utilizations t =
   List.init t.active (fun i -> Dataplane.utilization t.threads.(i))
 
 let registered_tenants t = Control_plane.registered_count t.control_plane
+
+(* ---------------- resilience hooks (lib/faults) ---------------- *)
+
+let inject_thread_stall t ~thread ~duration =
+  if thread < 0 || thread >= Array.length t.threads then
+    invalid_arg "Server.inject_thread_stall: thread out of range";
+  Dataplane.inject_stall t.threads.(thread) ~duration
+
+(* Degradation re-pricing (§4.3 under faults): the device lost capacity
+   (die failure, GC storm), so every token rate the control plane hands
+   out must shrink immediately — admission, BE shares and already-pushed
+   LC rates alike.  Restoring factor 1.0 undoes it. *)
+let reprice t ~capacity_factor =
+  Control_plane.set_capacity_factor t.control_plane capacity_factor;
+  push_rates t
+
+(* LC -> BE demotion: when repriced capacity can no longer honour a
+   latency reservation, the tenant keeps running at best-effort rather
+   than being cut off — its queued requests migrate with it.  Returns
+   [true] if the tenant was LC and is now BE. *)
+let demote_tenant t ~tenant =
+  match Hashtbl.find_opt t.tenant_thread tenant with
+  | None -> false
+  | Some thread -> (
+    match Dataplane.detach_tenant t.threads.(thread) ~id:tenant with
+    | None -> false
+    | Some (slo, rate, backlog) ->
+      if not (Slo.is_latency_critical slo) then begin
+        (* Already best-effort: reattach untouched. *)
+        Dataplane.attach_tenant t.threads.(thread) ~id:tenant ~slo ~token_rate:rate ~backlog;
+        false
+      end
+      else begin
+        Control_plane.forget t.control_plane ~id:tenant;
+        let be = Slo.best_effort ~read_pct:slo.Slo.read_pct () in
+        (match Control_plane.admit t.control_plane ~id:tenant ~slo:be with
+        | Control_plane.Admitted -> ()
+        | Control_plane.Rejected_no_capacity | Control_plane.Rejected_duplicate ->
+          (* BE admission cannot fail; defensive only. *)
+          ());
+        Hashtbl.replace t.be_tenants tenant ();
+        let be_rate =
+          effective_rate t
+            (Option.value (Control_plane.token_rate_for t.control_plane ~id:tenant) ~default:0.0)
+        in
+        Dataplane.attach_tenant t.threads.(thread) ~id:tenant ~slo:be ~token_rate:be_rate
+          ~backlog;
+        if t.tel_on then
+          Telemetry.unregister t.tel (Printf.sprintf "qos/t%d/slo_headroom_us" tenant);
+        refresh_rates t;
+        true
+      end)

@@ -94,3 +94,25 @@ val tokens_spent : t -> float
 
 val thread_utilizations : t -> float list
 val registered_tenants : t -> int
+
+(** {1 Resilience hooks}
+
+    Driven by [Reflex_faults] — fault injection on the dataplane and the
+    control plane's reaction to device degradation. *)
+
+(** Occupy one dataplane thread's core with [duration] of high-priority
+    foreign work (interrupt storm, noisy co-tenant).
+    @raise Invalid_argument if [thread] is out of range. *)
+val inject_thread_stall : t -> thread:int -> duration:Time.t -> unit
+
+(** Degradation re-pricing: scale the control plane's usable capacity by
+    [capacity_factor] (in (0,1]; 1.0 restores full capacity) and re-push
+    every tenant's token rate.  Admission decisions, BE fair shares and
+    LC reservations all reflect the reduced capacity immediately. *)
+val reprice : t -> capacity_factor:float -> unit
+
+(** Demote a latency-critical tenant to best-effort in place: its
+    reservation is released, its queued requests migrate with it, and it
+    keeps running at the BE fair share.  Returns [true] if the tenant was
+    LC and is now BE ([false]: unknown tenant or already BE). *)
+val demote_tenant : t -> tenant:int -> bool

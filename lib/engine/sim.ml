@@ -1,4 +1,4 @@
-type event = { mutable cancelled : bool; daemon : bool; action : unit -> unit }
+type event = { mutable cancelled : bool; daemon : bool; mutable action : unit -> unit }
 
 type event_id = event
 
@@ -11,7 +11,8 @@ type t = {
   root_prng : Prng.t;
 }
 
-let create ?(seed = 0x5EED_0F_F1A5_1234L) () =
+let default_seed = 0x5EED_0F_F1A5_1234L
+let create ?(seed = default_seed) () =
   {
     clock = Time.zero;
     heap = Heap.create ();
@@ -40,7 +41,21 @@ let at_daemon t time f = schedule t ~daemon:true time f
 
 let after t delay f = at t (Time.add t.clock delay) f
 
-let cancel _t ev = ev.cancelled <- true
+(* Shared thunk so cancellation can drop the event's closure without
+   allocating. *)
+let noop_action () = ()
+
+let cancel _t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    (* Blank the action so a cancelled timer does not pin its closure's
+       environment (request payloads, connections) until the heap pops it
+       — retry timers cancel on every successful completion, so the
+       window between cancel and pop can hold thousands of dead events. *)
+    ev.action <- noop_action
+  end
+
+let cancelled (ev : event_id) = ev.cancelled
 
 let run ?(until = Time.infinity) t =
   let executed_before = t.executed in

@@ -10,6 +10,11 @@ type t
 (** Handle for a scheduled event, usable with {!cancel}. *)
 type event_id
 
+(** Root seed used by {!create} when none is given — recorded in the
+    bench harness's JSON metadata so archived results name the exact
+    simulations they ran. *)
+val default_seed : int64
+
 val create : ?seed:int64 -> unit -> t
 
 (** Current virtual time. *)
@@ -32,8 +37,15 @@ val at_daemon : t -> Time.t -> (unit -> unit) -> event_id
 val after : t -> Time.t -> (unit -> unit) -> event_id
 
 (** Cancel a pending event.  Cancelling an already-fired or already-
-    cancelled event is a no-op. *)
+    cancelled event is a no-op.  Cancellation immediately drops the
+    event's action closure (so payloads captured by a cancelled timer —
+    e.g. a retry deadline whose request completed — are collectable
+    before the heap slot is popped); the heap entry itself is skipped
+    lazily when its time comes. *)
 val cancel : t -> event_id -> unit
+
+(** Whether the event has been cancelled (observability for tests). *)
+val cancelled : event_id -> bool
 
 (** Run until the event queue drains or [until] (inclusive) is reached.
     Returns the number of events executed by this call. *)

@@ -84,19 +84,19 @@ let register_sync sim client ~tenant ?slo () =
   wait ();
   match !result with Some s -> s | None -> failwith "registration did not complete"
 
-let try_client_of w ?(stack = Stack_model.ix_client) ?slo ~tenant () =
+let try_client_of w ?(stack = Stack_model.ix_client) ?slo ?retry ?retry_seed ~tenant () =
   let client =
     Client_lib.connect w.sim w.fabric
       ~server_host:(Reflex_core.Server.host w.server)
       ~accept:(Reflex_core.Server.accept w.server)
-      ~stack ~telemetry:w.telemetry ()
+      ~stack ?retry ?retry_seed ~telemetry:w.telemetry ()
   in
   match register_sync w.sim client ~tenant ?slo () with
   | Message.Ok -> Ok client
   | s -> Error s
 
-let client_of w ?stack ?slo ~tenant () =
-  match try_client_of w ?stack ?slo ~tenant () with
+let client_of w ?stack ?slo ?retry ?retry_seed ~tenant () =
+  match try_client_of w ?stack ?slo ?retry ?retry_seed ~tenant () with
   | Ok c -> c
   | Error s -> failwith ("registration refused: " ^ Message.status_to_string s)
 
@@ -111,6 +111,36 @@ let client_of_baseline w ?(stack = Stack_model.ix_client) ~tenant () =
   | Message.Ok -> ()
   | s -> failwith ("baseline registration failed: " ^ Message.status_to_string s));
   client
+
+(* Current git commit, read straight from [.git] (no subprocess — the
+   bench harness embeds this in every --json output so results are
+   attributable).  Walks up from the cwd; "unknown" when not in a
+   checkout. *)
+let git_sha () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim line)
+    with Sys_error _ -> None
+  in
+  let rec find dir depth =
+    if depth > 8 then None
+    else
+      let git = Filename.concat dir ".git" in
+      match read_line (Filename.concat git "HEAD") with
+      | Some line ->
+        if String.length line > 5 && String.sub line 0 5 = "ref: " then
+          read_line (Filename.concat git (String.sub line 5 (String.length line - 5)))
+        else Some line
+      | None ->
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find parent (depth + 1)
+  in
+  match find (Sys.getcwd ()) 0 with
+  | Some sha when sha <> "" -> sha
+  | _ -> "unknown"
 
 let measure_generators sim gens ~warmup ~window =
   let t0 = Sim.now sim in

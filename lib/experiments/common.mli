@@ -60,8 +60,18 @@ val make_baseline :
   kind:Reflex_baselines.Baseline_server.kind -> ?n_threads:int -> ?seed:int64 -> unit -> baseline_world
 
 (** Connect a client and register; runs the simulation until the
-    registration completes.  Raises [Failure] if it is refused. *)
-val client_of : reflex_world -> ?stack:Stack_model.t -> ?slo:Reflex_proto.Message.slo -> tenant:int -> unit -> Client_lib.t
+    registration completes.  Raises [Failure] if it is refused.
+    [retry]/[retry_seed] pass through to {!Client_lib.connect} for
+    chaos experiments that want deadlines and retries. *)
+val client_of :
+  reflex_world ->
+  ?stack:Stack_model.t ->
+  ?slo:Reflex_proto.Message.slo ->
+  ?retry:Retry.policy ->
+  ?retry_seed:int64 ->
+  tenant:int ->
+  unit ->
+  Client_lib.t
 
 val client_of_baseline :
   baseline_world -> ?stack:Stack_model.t -> tenant:int -> unit -> Client_lib.t
@@ -71,9 +81,16 @@ val try_client_of :
   reflex_world ->
   ?stack:Stack_model.t ->
   ?slo:Reflex_proto.Message.slo ->
+  ?retry:Retry.policy ->
+  ?retry_seed:int64 ->
   tenant:int ->
   unit ->
   (Client_lib.t, Reflex_proto.Message.status) result
+
+(** Current git commit hash, read directly from [.git/HEAD] (no
+    subprocess); ["unknown"] outside a checkout.  Embedded in the bench
+    harness's JSON outputs. *)
+val git_sha : unit -> string
 
 (** [measure_generators sim gens ~warmup ~window] runs warmup, marks all
     generators, runs the window, freezes them, then drains briefly. *)

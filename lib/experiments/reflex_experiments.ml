@@ -14,3 +14,4 @@ module Fig6 = Fig6
 module Fig7 = Fig7
 module Ablations = Ablations
 module Tracing = Tracing
+module Chaos = Chaos

@@ -1,0 +1,27 @@
+open Reflex_core
+
+let reprice_for_device server =
+  Server.reprice server
+    ~capacity_factor:
+      (Float.max 0.05 (Reflex_flash.Nvme_model.effective_capacity (Server.device server)))
+
+let demote = Server.demote_tenant
+
+let demote_until_sustainable ?(margin = 0.85) server =
+  let cp = Server.control_plane server in
+  let sustainable () =
+    Control_plane.lc_reserved_rate cp <= Control_plane.total_token_rate cp *. margin
+  in
+  (* Walk the loosest-SLO-first list, demoting until the reservations fit.
+     Iterating the snapshot (rather than re-reading the registry after
+     each demotion) guarantees termination even if a demotion fails. *)
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | (id, _) :: rest ->
+      if sustainable () then List.rev acc
+      else if Server.demote_tenant server ~tenant:id then loop (id :: acc) rest
+      else loop acc rest
+  in
+  loop [] (Control_plane.lc_tenants cp)
+
+let replace = Global_control.place_excluding

@@ -1,0 +1,76 @@
+open Reflex_engine
+
+type fault =
+  | Die_fail of { die : int }
+  | Die_slow of { die : int; factor : float }
+  | Gc_storm of { bursts_per_die : int }
+  | Link_flap
+  | Packet_loss of { prob : float; rto : Time.t }
+  | Packet_dup of { prob : float }
+  | Thread_stall of { thread : int }
+  | Tenant_burst of { gen : int; factor : float }
+
+type window = { at : Time.t; duration : Time.t; fault : fault }
+type t = window list
+
+let label = function
+  | Die_fail { die } -> Printf.sprintf "die_fail(%d)" die
+  | Die_slow { die; factor } -> Printf.sprintf "die_slow(%d,x%.1f)" die factor
+  | Gc_storm { bursts_per_die } -> Printf.sprintf "gc_storm(%d)" bursts_per_die
+  | Link_flap -> "link_flap"
+  | Packet_loss { prob; _ } -> Printf.sprintf "pkt_loss(%.3f)" prob
+  | Packet_dup { prob } -> Printf.sprintf "pkt_dup(%.3f)" prob
+  | Thread_stall { thread } -> Printf.sprintf "thread_stall(%d)" thread
+  | Tenant_burst { gen; factor } -> Printf.sprintf "tenant_burst(%d,x%.1f)" gen factor
+
+let check_window i w =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if Time.(w.at < Time.zero) then fail "Fault_plan: window %d: negative start" i;
+  if Time.(w.duration <= Time.zero) then fail "Fault_plan: window %d: non-positive duration" i;
+  match w.fault with
+  | Die_fail { die } | Die_slow { die; _ } ->
+    if die < 0 then fail "Fault_plan: window %d: negative die" i;
+    (match w.fault with
+    | Die_slow { factor; _ } when factor < 1.0 ->
+      fail "Fault_plan: window %d: die slowdown < 1.0" i
+    | _ -> ())
+  | Gc_storm { bursts_per_die } ->
+    if bursts_per_die <= 0 then fail "Fault_plan: window %d: bursts_per_die <= 0" i
+  | Link_flap -> ()
+  | Packet_loss { prob; rto } ->
+    if prob < 0.0 || prob >= 1.0 then fail "Fault_plan: window %d: loss prob" i;
+    if Time.(rto <= Time.zero) then fail "Fault_plan: window %d: rto" i
+  | Packet_dup { prob } ->
+    if prob < 0.0 || prob >= 1.0 then fail "Fault_plan: window %d: dup prob" i
+  | Thread_stall { thread } -> if thread < 0 then fail "Fault_plan: window %d: thread" i
+  | Tenant_burst { gen; factor } ->
+    if gen < 0 then fail "Fault_plan: window %d: generator index" i;
+    if factor <= 0.0 then fail "Fault_plan: window %d: burst factor" i
+
+let validate plan =
+  List.iteri check_window plan;
+  plan
+
+(* The acceptance scenario from the issue: one die fails at 2s (and
+   recovers at 4s), a GC storm runs 5s..6s, and the network link flaps
+   at 8s for 500ms.  [scale] compresses the whole timeline (smoke tests
+   use 0.1). *)
+let scripted ?(scale = 1.0) () =
+  if scale <= 0.0 then invalid_arg "Fault_plan.scripted: scale";
+  let s t = Time.scale t scale in
+  [
+    { at = s (Time.sec 2); duration = s (Time.sec 2); fault = Die_fail { die = 0 } };
+    { at = s (Time.sec 5); duration = s (Time.sec 1); fault = Gc_storm { bursts_per_die = 4 } };
+    { at = s (Time.sec 8); duration = s (Time.ms 500); fault = Link_flap };
+  ]
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "fault plan (%d windows):\n" (List.length plan));
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %8.1fms +%8.1fms  %s\n" (Time.to_float_ms w.at)
+           (Time.to_float_ms w.duration) (label w.fault)))
+    plan;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Declarative, deterministic chaos plans.
+
+    A plan is a list of timed fault windows; the {!Injector} schedules
+    each window's activation and recovery on the simulation clock.  Plans
+    are plain data — printable, comparable, and free of any randomness of
+    their own (stochastic faults such as packet loss draw from the
+    injector's seeded PRNG at runtime). *)
+
+open Reflex_engine
+
+type fault =
+  | Die_fail of { die : int }  (** die excluded from routing for the window *)
+  | Die_slow of { die : int; factor : float }
+      (** every service on the die is [factor] (>= 1.0) slower *)
+  | Gc_storm of { bursts_per_die : int }
+      (** extra low-priority erase bursts on every die, spread over the
+          window *)
+  | Link_flap  (** fabric transmissions stall until the window closes *)
+  | Packet_loss of { prob : float; rto : Time.t }
+      (** each message independently delayed by [rto] with [prob]
+          (TCP retransmission; the reliable stream never drops data) *)
+  | Packet_dup of { prob : float }
+      (** each message delivered twice with [prob]; reassembly dedups *)
+  | Thread_stall of { thread : int }
+      (** the dataplane thread's core is occupied for the whole window *)
+  | Tenant_burst of { gen : int; factor : float }
+      (** open-loop generator [gen] overdrives its rate by [factor] *)
+
+type window = { at : Time.t; duration : Time.t; fault : fault }
+type t = window list
+
+(** Stable label used for telemetry fault marks and reports. *)
+val label : fault -> string
+
+(** Returns the plan or raises [Invalid_argument] with the offending
+    window index. *)
+val validate : t -> t
+
+(** The issue's acceptance scenario: die 0 fails at 2s for 2s, a GC
+    storm runs 5s..6s, the link flaps at 8s for 500ms.  [scale]
+    compresses the timeline (e.g. 0.1 for smoke tests). *)
+val scripted : ?scale:float -> unit -> t
+
+val to_string : t -> string

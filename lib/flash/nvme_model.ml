@@ -20,6 +20,17 @@ type t = {
   wbuf_waiters : (unit -> unit) Queue.t;
   mutable reads_done : int;
   mutable writes_done : int;
+  (* ---- fault-injection state (lib/faults) ----
+     [faulty] is the single guard the routing/service hot path reads:
+     false (the default) means all arrays below are identity and the
+     pre-fault code path runs unchanged — including identical PRNG draw
+     order, which is what keeps fault-free chaos builds byte-identical
+     to plain builds. *)
+  mutable faulty : bool;
+  die_ok : bool array; (* false: die failed, excluded from routing *)
+  die_slowdown : float array; (* >=1.0 service multiplier per die *)
+  mutable failed_dies : int;
+  mutable gc_storm_bursts : int; (* injected erase bursts, observability *)
   (* Observability: [tel_on] is a copy of the telemetry instance's
      immutable enabled bit; the completion-path histogram records are
      skipped on that single test when telemetry is off. *)
@@ -43,6 +54,11 @@ let create ?(telemetry = Telemetry.disabled) sim ~profile ~prng =
       wbuf_waiters = Queue.create ();
       reads_done = 0;
       writes_done = 0;
+      faulty = false;
+      die_ok = Array.make n true;
+      die_slowdown = Array.make n 1.0;
+      failed_dies = 0;
+      gc_storm_bursts = 0;
       tel_on = Telemetry.enabled telemetry;
       h_read = Telemetry.histogram telemetry "flash/read_ns";
       h_write = Telemetry.histogram telemetry "flash/write_ns";
@@ -73,14 +89,39 @@ let read_only_mode t =
 let noisy t ~sigma base =
   Time.scale base (t.p.wear *. Prng.lognormal t.prng ~median:1.0 ~sigma)
 
-(* Least-outstanding-work of two random choices. *)
+(* Remap a die index to the next healthy die (wrapping).  Only reached
+   when at least one die has failed; if somehow every die is down, the
+   original index is kept (the device keeps limping rather than
+   deadlocking — the controller would remap to spare blocks). *)
+let healthy_die t i =
+  if t.failed_dies = 0 then i
+  else begin
+    let n = Array.length t.dies in
+    let k = ref i and steps = ref 0 in
+    while (not t.die_ok.(!k)) && !steps < n do
+      k := (!k + 1) mod n;
+      incr steps
+    done;
+    !k
+  end
+
+(* Least-outstanding-work of two random choices.  The PRNG draws happen
+   unconditionally (same order as the fault-free path); the remap to
+   healthy dies only runs once a die has actually failed. *)
 let pick_die t =
   let n = Array.length t.dies in
   let i = Prng.int t.prng n in
   let j = Prng.int t.prng n in
+  let i, j = if t.faulty then (healthy_die t i, healthy_die t j) else (i, j) in
   if Time.(t.die_work.(i) <= t.die_work.(j)) then i else j
 
 let run_on_die t ~die ~priority ~service k =
+  (* Die slowdown (wear-out, thermal throttling, firmware pauses): a
+     per-die service multiplier, identity unless a fault armed it. *)
+  let service =
+    if t.faulty && t.die_slowdown.(die) <> 1.0 then Time.scale service t.die_slowdown.(die)
+    else service
+  in
   t.die_work.(die) <- Time.add t.die_work.(die) service;
   Resource.submit t.dies.(die) ~priority ~service (fun ~started ~finished ->
       t.die_work.(die) <- Time.sub t.die_work.(die) service;
@@ -163,6 +204,77 @@ let submit t ~kind ~bytes cb =
 let reads_completed t = t.reads_done
 let writes_completed t = t.writes_done
 let write_buffer_used t = t.wbuf_used
+
+(* ---- Fault-injection API (driven by Reflex_faults.Injector) ---------- *)
+
+let die_count t = Array.length t.dies
+
+let check_die t die =
+  if die < 0 || die >= Array.length t.dies then
+    invalid_arg (Printf.sprintf "Nvme_model: die %d out of range" die)
+
+let fail_die t ~die =
+  check_die t die;
+  if t.die_ok.(die) then begin
+    t.die_ok.(die) <- false;
+    t.failed_dies <- t.failed_dies + 1;
+    t.faulty <- true
+  end
+
+let restore_die t ~die =
+  check_die t die;
+  if not t.die_ok.(die) then begin
+    t.die_ok.(die) <- true;
+    t.failed_dies <- t.failed_dies - 1
+  end
+
+let set_die_slowdown t ~die ~factor =
+  check_die t die;
+  if factor < 1.0 then invalid_arg "Nvme_model.set_die_slowdown: factor < 1.0";
+  t.die_slowdown.(die) <- factor;
+  if factor <> 1.0 then t.faulty <- true
+
+let clear_die_slowdowns t = Array.fill t.die_slowdown 0 (Array.length t.die_slowdown) 1.0
+
+(* A GC storm queues [bursts_per_die] extra low-priority erase jobs on
+   every die, spread evenly over [duration].  The erase service time is
+   the exact (noise-free) per-cycle erase cost from the profile, so the
+   storm itself draws nothing from the device PRNG — the fault-free
+   request stream sees the same random sequence it would have seen, just
+   behind more queued erase work (the intended interference). *)
+let gc_storm t ~duration ~bursts_per_die =
+  if bursts_per_die <= 0 then invalid_arg "Nvme_model.gc_storm: bursts_per_die <= 0";
+  let p = t.p in
+  let erase = Time.scale p.t_read (p.erase_frac *. float_of_int p.erase_every *. chunk_tokens) in
+  let n = Array.length t.dies in
+  let gap = Time.scale duration (1.0 /. float_of_int bursts_per_die) in
+  for b = 0 to bursts_per_die - 1 do
+    let fire = Time.add (Sim.now t.sim) (Time.scale gap (float_of_int b)) in
+    ignore
+      (Sim.at t.sim fire (fun () ->
+           for die = 0 to n - 1 do
+             if t.die_ok.(die) then begin
+               t.gc_storm_bursts <- t.gc_storm_bursts + 1;
+               run_on_die t ~die ~priority:Resource.Low ~service:erase
+                 (fun ~started:_ ~finished:_ -> ())
+             end
+           done))
+  done
+
+let failed_dies t = t.failed_dies
+let gc_storm_bursts t = t.gc_storm_bursts
+
+(* Usable fraction of nominal service capacity under the current die
+   health: a failed die contributes nothing, a slowed die contributes
+   1/slowdown of its share.  1.0 when healthy — the control plane's
+   degradation re-pricing multiplies its calibrated token rate by this. *)
+let effective_capacity t =
+  let n = Array.length t.dies in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    if t.die_ok.(i) then sum := !sum +. (1.0 /. t.die_slowdown.(i))
+  done;
+  !sum /. float_of_int n
 
 let utilization t =
   let n = Array.length t.dies in

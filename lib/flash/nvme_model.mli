@@ -46,3 +46,46 @@ val write_buffer_used : t -> int
 
 (** Die-busy fraction since creation. *)
 val utilization : t -> float
+
+(** {1 Fault injection}
+
+    Hooks driven by [Reflex_faults.Injector].  The device carries a
+    single [faulty] guard: until one of these mutators arms it, the
+    request hot path is byte-identical (including PRNG draw order) to a
+    device without fault support, so fault-free runs reproduce pre-fault
+    results exactly. *)
+
+(** Number of dies (targets for [fail_die] / [set_die_slowdown]). *)
+val die_count : t -> int
+
+(** Mark a die failed: it is excluded from routing (requests remap to the
+    next healthy die, as a controller remapping to spare blocks would).
+    Idempotent. @raise Invalid_argument if [die] is out of range. *)
+val fail_die : t -> die:int -> unit
+
+(** Undo [fail_die].  Idempotent. *)
+val restore_die : t -> die:int -> unit
+
+(** Multiply every service on [die] by [factor] (wear-out, thermal
+    throttling, firmware pauses).  [factor = 1.0] restores normal speed.
+    @raise Invalid_argument if [factor < 1.0]. *)
+val set_die_slowdown : t -> die:int -> factor:float -> unit
+
+(** Reset all per-die slowdowns to 1.0. *)
+val clear_die_slowdowns : t -> unit
+
+(** [gc_storm t ~duration ~bursts_per_die] queues [bursts_per_die] extra
+    low-priority erase bursts on every healthy die, evenly spaced over
+    [duration] starting now.  Draws nothing from the device PRNG. *)
+val gc_storm : t -> duration:Time.t -> bursts_per_die:int -> unit
+
+(** Currently-failed die count. *)
+val failed_dies : t -> int
+
+(** Usable fraction of nominal capacity under current die health (failed
+    dies contribute 0, slowed dies 1/slowdown); 1.0 when healthy.  The
+    control plane's degradation re-pricing consumes this. *)
+val effective_capacity : t -> float
+
+(** Total injected GC-storm erase bursts (observability). *)
+val gc_storm_bursts : t -> int

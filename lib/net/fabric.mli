@@ -39,3 +39,39 @@ val bytes_received : host -> int
 
 (** Seconds to serialize [bytes] at line rate — the bandwidth ceiling. *)
 val serialization_time : t -> bytes:int -> Time.t
+
+(** {1 Fault injection}
+
+    Hooks driven by [Reflex_faults.Injector].  Until [set_fault_prng] is
+    called the transmit path is byte-identical (including PRNG draw
+    order) to a fabric without fault support.  The fault PRNG is owned by
+    the injector, never split from the simulation's root stream, so
+    arming faults does not perturb other components' randomness. *)
+
+(** Arm the fault path with the injector's PRNG (used for loss/dup
+    Bernoulli draws).  Must be called before the probabilities below have
+    any effect. *)
+val set_fault_prng : t -> Reflex_engine.Prng.t -> unit
+
+(** Link flap: every transmission starting before [until] stalls until
+    [until] (TCP keeps the segment and sends it when the link returns).
+    Pass a past time (e.g. [Time.zero]) to end the flap. *)
+val set_link_down_until : t -> until:Time.t -> unit
+
+(** Packet loss, modeled as TCP retransmission: each message is
+    independently charged one [rto] delay with probability [prob].  The
+    stream never drops a segment — it arrives an RTO later, which is what
+    the receiver of a reliable byte stream observes.
+    @raise Invalid_argument unless [0 <= prob < 1]. *)
+val set_loss : t -> prob:float -> rto:Time.t -> unit
+
+(** Duplicate delivery: each message is delivered twice with probability
+    [prob] (receive-side reassembly suppresses the copy).
+    @raise Invalid_argument unless [0 <= prob < 1]. *)
+val set_dup : t -> prob:float -> unit
+
+(** Fault-path counters (observability). *)
+val losses : t -> int
+
+val duplicates : t -> int
+val flap_stalls : t -> int

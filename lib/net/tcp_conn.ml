@@ -66,19 +66,26 @@ let set_server_handler t h = set_handler t.to_server h
 let set_client_handler t h = set_handler t.to_client h
 
 let arrive t ep seq msg size =
-  (* A gap means receive-side jitter reordered raw deliveries. *)
-  if t.tel_on && seq <> ep.next_deliver then Telemetry.incr t.c_ooo;
-  Hashtbl.replace ep.out_of_order seq (msg, size);
-  let rec drain () =
-    match Hashtbl.find_opt ep.out_of_order ep.next_deliver with
-    | Some (m, s) ->
-      Hashtbl.remove ep.out_of_order ep.next_deliver;
-      ep.next_deliver <- ep.next_deliver + 1;
-      deliver ep m s;
-      drain ()
-    | None -> ()
-  in
-  drain ()
+  (* Duplicate suppression: a fault-injected duplicate (or, in a real
+     stack, a retransmitted segment racing its original) arrives with a
+     sequence number already delivered; reassembly drops it, otherwise
+     it would sit in [out_of_order] below the cursor forever. *)
+  if seq < ep.next_deliver then ()
+  else begin
+    (* A gap means receive-side jitter reordered raw deliveries. *)
+    if t.tel_on && seq <> ep.next_deliver then Telemetry.incr t.c_ooo;
+    Hashtbl.replace ep.out_of_order seq (msg, size);
+    let rec drain () =
+      match Hashtbl.find_opt ep.out_of_order ep.next_deliver with
+      | Some (m, s) ->
+        Hashtbl.remove ep.out_of_order ep.next_deliver;
+        ep.next_deliver <- ep.next_deliver + 1;
+        deliver ep m s;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  end
 
 let send t ~src ~dst ~ep ~size msg =
   let sim = Fabric.sim t.fabric in

@@ -28,6 +28,7 @@ let status_to_int : Message.status -> int = function
   | No_capacity -> 2
   | Bad_request -> 3
   | Out_of_range -> 4
+  | Timed_out -> 5
 
 let status_of_int = function
   | 0 -> Message.Ok
@@ -35,6 +36,7 @@ let status_of_int = function
   | 2 -> Message.No_capacity
   | 3 -> Message.Bad_request
   | 4 -> Message.Out_of_range
+  | 5 -> Message.Timed_out
   | n -> invalid_arg (Printf.sprintf "Codec: unknown status %d" n)
 
 let encoded_size msg = header_size + Message.payload_bytes msg

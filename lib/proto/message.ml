@@ -1,4 +1,4 @@
-type status = Ok | Denied | No_capacity | Bad_request | Out_of_range
+type status = Ok | Denied | No_capacity | Bad_request | Out_of_range | Timed_out
 
 let status_to_string = function
   | Ok -> "ok"
@@ -6,6 +6,7 @@ let status_to_string = function
   | No_capacity -> "no-capacity"
   | Bad_request -> "bad-request"
   | Out_of_range -> "out-of-range"
+  | Timed_out -> "timed-out"
 
 let equal_status (a : status) b = a = b
 

@@ -10,6 +10,10 @@ type status =
   | No_capacity  (** SLO not admissible (paper: "out of resources") *)
   | Bad_request
   | Out_of_range  (** LBA outside the tenant's namespace *)
+  | Timed_out
+      (** client-side: the request deadline expired and the retry budget
+          is exhausted (never produced by the server, but encodable so a
+          proxy could relay it) *)
 
 val status_to_string : status -> string
 val equal_status : status -> status -> bool

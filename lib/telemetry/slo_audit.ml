@@ -139,6 +139,16 @@ let tenant_summaries tel =
       | _ -> None)
     (Telemetry.tenants_with_slo tel)
 
+(* Labels of injected faults whose window overlaps [start, stop).  An
+   open fault window (no stop mark yet) overlaps everything after its
+   start. *)
+let overlapping_faults tel ~start ~stop =
+  List.filter_map
+    (fun (label, f0, f1) ->
+      let ends_after = match f1 with None -> true | Some f1 -> Time.(f1 > start) in
+      if Time.(f0 < stop) && ends_after then Some label else None)
+    (Telemetry.fault_windows tel)
+
 let report ?window:(w = Time.ms 10) tel =
   let buf = Buffer.create 2048 in
   let summaries = tenant_summaries tel in
@@ -158,18 +168,32 @@ let report ?window:(w = Time.ms 10) tel =
              | Some d -> Telemetry.Stage.component_names.(d))))
       summaries;
     let ws = windows ~window:w tel in
+    let have_faults = Telemetry.fault_windows tel <> [] in
     if ws <> [] then begin
       Buffer.add_string buf
         (Printf.sprintf "-- violation windows (%.1fms) --\n" (Time.to_float_ms w));
       Buffer.add_string buf
-        (Printf.sprintf "%-10s %-8s %6s %10s  %s\n" "t_ms" "tenant" "count" "worst_us" "dominant");
+        (Printf.sprintf "%-10s %-8s %6s %10s  %-14s %s\n" "t_ms" "tenant" "count" "worst_us"
+           "dominant"
+           (if have_faults then "faults" else ""));
       List.iter
-        (fun w ->
+        (fun win ->
+          let faults =
+            if not have_faults then ""
+            else
+              match
+                overlapping_faults tel ~start:win.w_start ~stop:(Time.add win.w_start w)
+              with
+              | [] -> "-"
+              | labels -> String.concat "," labels
+          in
           Buffer.add_string buf
-            (Printf.sprintf "%-10.1f t%-7d %6d %10.1f  %s\n" (Time.to_float_ms w.w_start)
-               w.w_tenant w.w_count w.w_worst_us
-               Telemetry.Stage.component_names.(w.w_dominant)))
+            (Printf.sprintf "%-10.1f t%-7d %6d %10.1f  %-14s %s\n" (Time.to_float_ms win.w_start)
+               win.w_tenant win.w_count win.w_worst_us
+               Telemetry.Stage.component_names.(win.w_dominant)
+               faults))
         ws
-    end
+    end;
+    if have_faults then Buffer.add_string buf (Telemetry.faults_report tel)
   end;
   Buffer.contents buf

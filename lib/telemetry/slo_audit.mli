@@ -45,5 +45,13 @@ type tenant_summary = {
 
 val tenant_summaries : Telemetry.t -> tenant_summary list
 
-(** Per-tenant compliance table plus the violation-window log. *)
+(** Labels of injected faults (see {!Telemetry.fault_windows}) whose
+    window overlaps [\[start, stop)]. *)
+val overlapping_faults : Telemetry.t -> start:Time.t -> stop:Time.t -> string list
+
+(** Per-tenant compliance table plus the violation-window log.  When the
+    run carried injected faults, each violation window is annotated with
+    the fault labels active during it and the fault-window table is
+    appended — the audit answers "which violations did the chaos plan
+    cause, and which are the system's own". *)
 val report : ?window:Time.t -> Telemetry.t -> string

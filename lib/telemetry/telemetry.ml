@@ -225,6 +225,8 @@ type sample = { s_time : Time.t; s_values : (string * float) array }
 
 type slo_target = { st_latency_critical : bool; st_latency_us : int }
 
+type fault_event = { f_time : Time.t; f_label : string; f_active : bool }
+
 type t = {
   enabled : bool;
   spans : Span_ring.t;
@@ -235,6 +237,7 @@ type t = {
   mutable sampler_running : bool;
   tenant_slos : (int, slo_target) Hashtbl.t;
   tenant_lat : (int, Hdr_histogram.t) Hashtbl.t;
+  mutable faults_rev : fault_event list; (* injected-fault marks, newest first *)
 }
 
 (* Shared sinks handed out by the disabled instance; guarded record
@@ -253,6 +256,7 @@ let make ~enabled ~span_capacity ~decision_capacity =
     sampler_running = false;
     tenant_slos = Hashtbl.create 16;
     tenant_lat = Hashtbl.create 16;
+    faults_rev = [];
   }
 
 let disabled = make ~enabled:false ~span_capacity:1 ~decision_capacity:1
@@ -357,6 +361,58 @@ let tenant_latency_hist t ~tenant =
 
 let record_tenant_latency t ~tenant lat =
   if t.enabled then Hdr_histogram.record (tenant_latency_hist t ~tenant) lat
+
+(* ---------------- fault marks ---------------- *)
+
+let fault_mark t ~now ~label ~active =
+  if t.enabled then t.faults_rev <- { f_time = now; f_label = label; f_active = active } :: t.faults_rev
+
+let fault_log t =
+  List.rev_map (fun e -> (e.f_time, e.f_label, e.f_active)) t.faults_rev
+
+(* Pair start/stop marks into windows, oldest-first.  A start without a
+   matching stop yields an open window ([None] end); a stop without a
+   start is ignored (defensive — the injector always emits pairs). *)
+let fault_windows t =
+  let events = fault_log t in
+  let open_w : (string * Time.t) list ref = ref [] in
+  let closed = ref [] in
+  List.iter
+    (fun (time, label, active) ->
+      if active then open_w := !open_w @ [ (label, time) ]
+      else
+        let rec take acc = function
+          | [] -> None
+          | (l, t0) :: rest when l = label -> Some ((l, t0), List.rev_append acc rest)
+          | x :: rest -> take (x :: acc) rest
+        in
+        match take [] !open_w with
+        | Some ((l, t0), rest) ->
+          open_w := rest;
+          closed := (l, t0, Some time) :: !closed
+        | None -> ())
+    events;
+  let still_open = List.map (fun (l, t0) -> (l, t0, None)) !open_w in
+  List.sort
+    (fun (_, a, _) (_, b, _) -> Time.compare a b)
+    (List.rev_append !closed still_open)
+
+let faults_report t =
+  let ws = fault_windows t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== injected faults (%d windows) ==\n" (List.length ws));
+  List.iter
+    (fun (label, t0, t1) ->
+      match t1 with
+      | Some t1 ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10.3fms .. %10.3fms  %s\n" (Time.to_float_ms t0)
+             (Time.to_float_ms t1) label)
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10.3fms .. (open)       %s\n" (Time.to_float_ms t0) label))
+    ws;
+  Buffer.contents buf
 
 (* ---------------- sampling ---------------- *)
 

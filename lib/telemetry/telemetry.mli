@@ -158,6 +158,27 @@ val tenant_latency_hist : t -> tenant:int -> Hdr_histogram.t
 
 val record_tenant_latency : t -> tenant:int -> int64 -> unit
 
+(** {1 Fault marks}
+
+    The fault injector (lib/faults) timestamps every fault activation and
+    deactivation here, so reports and the SLO auditor can attribute
+    latency excursions to the fault windows that caused them. *)
+
+(** [fault_mark t ~now ~label ~active] records a fault transition:
+    [active = true] at injection, [false] at recovery.  No-op when
+    disabled. *)
+val fault_mark : t -> now:Time.t -> label:string -> active:bool -> unit
+
+(** Chronological [(time, label, active)] marks. *)
+val fault_log : t -> (Time.t * string * bool) list
+
+(** Start/stop marks paired into [(label, start, stop)] windows sorted by
+    start; [stop = None] for faults still active at the end. *)
+val fault_windows : t -> (string * Time.t * Time.t option) list
+
+(** One line per fault window. *)
+val faults_report : t -> string
+
 (** {1 Sampling} *)
 
 (** Snapshot every registered metric now. *)

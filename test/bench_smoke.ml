@@ -15,10 +15,22 @@ open Reflex_client
 open Reflex_experiments
 open Reflex_telemetry
 
-let point ?(telemetry = false) rate =
+(* Root seed for every world this smoke builds, recorded in the JSON
+   metadata so a archived result names the exact simulation it ran. *)
+let world_seed = 0x5EED_0BEAC4L
+
+let point ?(telemetry = false) ?(faults = false) rate =
   let telemetry = if telemetry then Telemetry.create () else Telemetry.disabled in
-  let w = Common.make_reflex ~telemetry () in
+  let w = Common.make_reflex ~telemetry ~seed:world_seed () in
   let sim = w.Common.sim in
+  (* The faults leg arms an injector with an EMPTY plan: the contract is
+     that merely having the subsystem present costs nothing — results
+     must be bit-identical and the wall clock within noise. *)
+  if faults then
+    ignore
+      (Reflex_faults.Injector.arm
+         (Reflex_faults.Injector.target ~sim ~fabric:w.Common.fabric ~server:w.Common.server ())
+         ~plan:[]);
   let client = Common.client_of w ~tenant:1 () in
   let until = Time.add (Sim.now sim) (Time.ms 60) in
   let gen =
@@ -53,9 +65,11 @@ let timed reps f =
   (Unix.gettimeofday () -. t0, !r)
 
 let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
-    ~iops_delta_pct =
+    ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
+  Printf.fprintf oc "  \"git_sha\": \"%s\",\n" (Common.git_sha ());
   Printf.fprintf oc "  \"parallel_eq_serial\": %b,\n" parallel_eq;
   Printf.fprintf oc "  \"wall_s_parallel\": %.3f,\n" wall_parallel;
   Printf.fprintf oc "  \"telemetry\": {\n";
@@ -63,6 +77,12 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" on_s;
   Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" overhead_pct;
   Printf.fprintf oc "    \"iops_delta_pct\": %.6f\n" iops_delta_pct;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"faults_disabled\": {\n";
+  Printf.fprintf oc "    \"off_wall_s\": %.3f,\n" f_off_s;
+  Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" f_on_s;
+  Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" f_overhead_pct;
+  Printf.fprintf oc "    \"results_identical\": %b\n" f_identical;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"points\": [\n";
   List.iteri
@@ -122,8 +142,25 @@ let () =
     off_s on_s reps (List.length rates) overhead_pct iops_delta_pct;
   if sim_identical then print_endline "bench smoke OK: telemetry-on results == telemetry-off"
   else print_endline "bench smoke FAILED: telemetry perturbed the simulated results";
+  (* Fault subsystem cost when disarmed: the same sweep with an injector
+     holding an empty plan.  Results must be bit-identical (the hot paths
+     pay one boolean test per fault class) and the wall overhead ~zero. *)
+  let f_off_s, f_off_rows = timed reps (fun () -> List.map (point ~faults:false) rates) in
+  let f_on_s, f_on_rows = timed reps (fun () -> List.map (point ~faults:true) rates) in
+  let f_identical =
+    List.for_all2
+      (fun (_, k0, p0) (_, k1, p1) -> Float.equal k0 k1 && Float.equal p0 p1)
+      f_off_rows f_on_rows
+  in
+  let f_overhead_pct = if f_off_s > 0.0 then (f_on_s -. f_off_s) /. f_off_s *. 100.0 else 0.0 in
+  Printf.printf
+    "[faults: no-injector %.2fs / empty-plan %.2fs over %dx%d points -> %+.1f%% wall overhead]\n"
+    f_off_s f_on_s reps (List.length rates) f_overhead_pct;
+  if f_identical then print_endline "bench smoke OK: empty-plan injector results == no injector"
+  else print_endline "bench smoke FAILED: disarmed fault subsystem perturbed the results";
   (match json_path with
   | Some p ->
     write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
+      ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical
   | None -> ());
-  if not (parallel_eq && sim_identical) then exit 1
+  if not (parallel_eq && sim_identical && f_identical) then exit 1

@@ -82,7 +82,7 @@ let test_cp_admission_limit_fig6a () =
      for i = 1 to 20 do
        match Control_plane.admit cp ~id:i ~slo:lc_20k with
        | Control_plane.Admitted -> incr admitted
-       | Control_plane.Rejected_no_capacity -> raise Exit
+       | Control_plane.Rejected_no_capacity | Control_plane.Rejected_duplicate -> raise Exit
      done
    with Exit -> ());
   Alcotest.(check bool)
@@ -125,11 +125,65 @@ let test_cp_fig5_rates () =
   Alcotest.(check (option (float 1.0))) "C gets the share" (Some share)
     (Control_plane.token_rate_for cp ~id:3)
 
+let admission = Alcotest.testable Fmt.(using (function
+  | Control_plane.Admitted -> "admitted"
+  | Control_plane.Rejected_no_capacity -> "rejected_no_capacity"
+  | Control_plane.Rejected_duplicate -> "rejected_duplicate") string)
+  ( = )
+
 let test_cp_duplicate_id () =
+  (* Duplicate admit is a well-defined rejection, never an exception, and
+     leaves the original registration (including its SLO) untouched. *)
   let cp = make_cp () in
-  ignore (Control_plane.admit cp ~id:1 ~slo:(Slo.best_effort ()));
-  Alcotest.check_raises "duplicate" (Invalid_argument "Control_plane.admit: duplicate tenant id")
-    (fun () -> ignore (Control_plane.admit cp ~id:1 ~slo:(Slo.best_effort ())))
+  Alcotest.check admission "first" Control_plane.Admitted
+    (Control_plane.admit cp ~id:1 ~slo:(Slo.latency_critical ~latency_us:500 ~iops:1000.0 ~read_pct:100));
+  let rate_before = Control_plane.token_rate_for cp ~id:1 in
+  Alcotest.check admission "duplicate BE" Control_plane.Rejected_duplicate
+    (Control_plane.admit cp ~id:1 ~slo:(Slo.best_effort ()));
+  Alcotest.check admission "duplicate LC" Control_plane.Rejected_duplicate
+    (Control_plane.admit cp ~id:1 ~slo:(Slo.latency_critical ~latency_us:200 ~iops:9_000.0 ~read_pct:100));
+  Alcotest.(check int) "still one tenant" 1 (Control_plane.registered_count cp);
+  Alcotest.(check (option (float 1.0))) "original SLO kept" rate_before
+    (Control_plane.token_rate_for cp ~id:1);
+  (* Re-registering after forget succeeds. *)
+  Control_plane.forget cp ~id:1;
+  Alcotest.check admission "re-admit after forget" Control_plane.Admitted
+    (Control_plane.admit cp ~id:1 ~slo:(Slo.best_effort ()))
+
+let test_cp_forget_unknown_idempotent () =
+  (* Forgetting an id that was never admitted (or already forgotten) is a
+     no-op: the unregister path may be retried. *)
+  let cp = make_cp () in
+  Control_plane.forget cp ~id:42;
+  ignore (Control_plane.admit cp ~id:1 ~slo:(Slo.latency_critical ~latency_us:500 ~iops:1000.0 ~read_pct:100));
+  let reserved = Control_plane.lc_reserved_rate cp in
+  Control_plane.forget cp ~id:2;
+  Alcotest.(check (float 1.0)) "reservation untouched by unknown forget" reserved
+    (Control_plane.lc_reserved_rate cp);
+  Alcotest.(check int) "still registered" 1 (Control_plane.registered_count cp);
+  Control_plane.forget cp ~id:1;
+  Control_plane.forget cp ~id:1;
+  Alcotest.(check int) "empty" 0 (Control_plane.registered_count cp)
+
+let test_cp_capacity_factor () =
+  (* Degradation re-pricing: the factor scales the sustainable token rate,
+     shrinking BE shares and admission headroom; 1.0 restores exactly. *)
+  let cp = make_cp () in
+  ignore (Control_plane.admit cp ~id:1 ~slo:(Slo.latency_critical ~latency_us:500 ~iops:50_000.0 ~read_pct:100));
+  ignore (Control_plane.admit cp ~id:2 ~slo:(Slo.best_effort ()));
+  let rate0 = Control_plane.total_token_rate cp in
+  let share0 = Control_plane.be_share cp in
+  Control_plane.set_capacity_factor cp 0.5;
+  Alcotest.(check (float 1e-6)) "factor readback" 0.5 (Control_plane.capacity_factor cp);
+  Alcotest.(check (float 1.0)) "rate halves" (rate0 /. 2.0) (Control_plane.total_token_rate cp);
+  Alcotest.(check bool) "BE share shrinks" true (Control_plane.be_share cp < share0);
+  Control_plane.set_capacity_factor cp 1.0;
+  Alcotest.(check (float 1.0)) "restored" rate0 (Control_plane.total_token_rate cp);
+  Alcotest.(check (float 1.0)) "share restored" share0 (Control_plane.be_share cp);
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Control_plane.set_capacity_factor: factor in (0,1]")
+    (fun () -> Control_plane.set_capacity_factor cp 0.0);
+  Alcotest.check_raises "above one rejected" (Invalid_argument "Control_plane.set_capacity_factor: factor in (0,1]")
+    (fun () -> Control_plane.set_capacity_factor cp 1.5)
 
 let test_cp_default_curve_monotone () =
   let f = Control_plane.default_token_rate_fn Device_profile.device_a in
@@ -748,6 +802,9 @@ let suite =
         Alcotest.test_case "strictest SLO governs" `Quick test_cp_strictest_slo_governs;
         Alcotest.test_case "Figure 5 token rates" `Quick test_cp_fig5_rates;
         Alcotest.test_case "duplicate id" `Quick test_cp_duplicate_id;
+        Alcotest.test_case "forget unknown id is a no-op" `Quick
+          test_cp_forget_unknown_idempotent;
+        Alcotest.test_case "capacity factor re-pricing" `Quick test_cp_capacity_factor;
         Alcotest.test_case "default curve monotone" `Quick test_cp_default_curve_monotone;
       ] );
     ( "server_e2e",

@@ -254,6 +254,40 @@ let test_sim_cancel () =
   ignore (Sim.run sim);
   Alcotest.(check bool) "cancelled event did not fire" false !fired
 
+let test_sim_cancel_releases_closure () =
+  (* Cancelling blanks the heap slot's action immediately: the closure's
+     environment must become collectable before the heap ever pops the
+     dead event (retry timers cancel on every successful completion, so
+     this window can hold thousands of events). *)
+  let sim = Sim.create () in
+  let weak = Weak.create 1 in
+  let ev =
+    let payload = Bytes.create 4096 in
+    Weak.set weak 0 (Some payload);
+    Sim.at sim (Time.ms 1) (fun () -> ignore (Bytes.length payload))
+  in
+  Gc.full_major ();
+  Alcotest.(check bool) "payload pinned while scheduled" true (Weak.check weak 0);
+  Sim.cancel sim ev;
+  Gc.full_major ();
+  Alcotest.(check bool) "cancel released the closure payload" false (Weak.check weak 0);
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "marked cancelled" true (Sim.cancelled ev)
+
+let test_sim_cancel_after_fire_noop () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  let ev = Sim.at sim (Time.us 5) (fun () -> incr n) in
+  ignore (Sim.run sim);
+  Alcotest.(check int) "fired once" 1 !n;
+  (* Cancelling an already-fired (or already-cancelled) event is a no-op:
+     it must not raise, and must not perturb later scheduling. *)
+  Sim.cancel sim ev;
+  Sim.cancel sim ev;
+  ignore (Sim.at sim (Time.us 10) (fun () -> incr n));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "later events unaffected" 2 !n
+
 let test_sim_until () =
   let sim = Sim.create () in
   let count = ref 0 in
@@ -450,6 +484,9 @@ let suite =
       [
         Alcotest.test_case "event ordering" `Quick test_sim_ordering;
         Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "cancel releases closure immediately" `Quick
+          test_sim_cancel_releases_closure;
+        Alcotest.test_case "cancel after fire is a no-op" `Quick test_sim_cancel_after_fire_noop;
         Alcotest.test_case "run until" `Quick test_sim_until;
         Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
         Alcotest.test_case "past scheduling raises" `Quick test_sim_past_raises;
