@@ -1,10 +1,11 @@
 # Developer entry points.  `make check` is the CI gate: full build, the
 # whole alcotest suite, the bench smoke (parallel-runner sanity +
-# telemetry and faults on/off overhead) with its numbers recorded in
-# BENCH_SMOKE.json for trend tracking, and the chaos smoke (scripted
-# fault plan + determinism verification).
+# telemetry, faults and monitor on/off overhead) with its numbers
+# recorded in BENCH_SMOKE.json for trend tracking, the chaos smoke
+# (scripted fault plan + determinism verification) and the monitor
+# smoke (alerting acceptance + bit-reproducible alert timeline).
 
-.PHONY: all build test bench-smoke chaos-smoke check trace chaos bench clean
+.PHONY: all build test bench-smoke chaos-smoke monitor-smoke check trace chaos monitor bench clean
 
 all: build
 
@@ -26,10 +27,22 @@ chaos-smoke: build
 	@grep -q "serial vs --jobs 2 byte-identical: true" _build/chaos_smoke.out
 	@echo "chaos smoke OK: SLO held, retries bounded, output byte-identical"
 
+# Monitoring acceptance: alerts fire inside injected-fault windows and
+# name their fault, clean runs are silent, a disabled monitor is
+# bit-identical to no monitor, and the alert timeline is byte-identical
+# serial vs parallel.
+monitor-smoke: build
+	dune exec bin/reflex_sim.exe -- monitor > _build/monitor_smoke.out
+	@grep -q "MONITOR OK" _build/monitor_smoke.out
+	@grep -q "same-seed rerun byte-identical: true" _build/monitor_smoke.out
+	@grep -q "serial vs --jobs 2 byte-identical: true" _build/monitor_smoke.out
+	@echo "monitor smoke OK: alerts in fault windows, clean runs silent, timeline byte-identical"
+
 check: build
 	dune runtest
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
 	$(MAKE) chaos-smoke
+	$(MAKE) monitor-smoke
 
 # Canonical telemetry scenario: per-request latency breakdowns, SLO
 # audit, scheduler decision log, Chrome trace JSON.
@@ -39,6 +52,10 @@ trace: build
 # Full chaos scenario with determinism debrief and SLO audit.
 chaos: build
 	dune exec bin/reflex_sim.exe -- chaos
+
+# Full monitoring scenario: alert debrief, budgets, remediation log.
+monitor: build
+	dune exec bin/reflex_sim.exe -- monitor
 
 # Full figure reproduction + microbenchmarks (quick mode).
 bench: build

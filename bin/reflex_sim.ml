@@ -3,8 +3,10 @@
      reflex_sim list
      reflex_sim run fig5 [--full] [--telemetry] [--trace-out FILE]
      reflex_sim run all  [--full]
-     reflex_sim trace    [--full] [--out FILE]
-     reflex_sim chaos    [--full] [--seed N] [--no-verify]           *)
+     reflex_sim trace    [--full] [--out FILE] [--audit-window-us US]
+     reflex_sim chaos    [--full] [--seed N] [--no-verify] [--audit-window-us US]
+     reflex_sim monitor  [--full] [--seed N] [--no-verify]
+                         [--prom-out FILE] [--trace-out FILE]        *)
 
 open Cmdliner
 open Reflex_experiments
@@ -62,19 +64,21 @@ let list_cmd =
     Printf.printf "%-8s %s\n" "trace"
       "canonical telemetry scenario (see 'reflex_sim trace --help')";
     Printf.printf "%-8s %s\n" "chaos"
-      "scripted fault plan with retries and SLO audit (see 'reflex_sim chaos --help')"
+      "scripted fault plan with retries and SLO audit (see 'reflex_sim chaos --help')";
+    Printf.printf "%-8s %s\n" "monitor"
+      "online monitoring & alerting acceptance scenario (see 'reflex_sim monitor --help')"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 (* Print the full telemetry debrief for one world: latency breakdowns,
    component aggregates, SLO audit, scheduler decisions, final metrics. *)
-let print_telemetry_reports tel =
+let print_telemetry_reports ?audit_window tel =
   print_newline ();
   print_string (Trace_export.breakdown_report tel);
   print_newline ();
   print_string (Trace_export.component_report tel);
   print_newline ();
-  print_string (Slo_audit.report tel);
+  print_string (Slo_audit.report ?window:audit_window tel);
   print_newline ();
   print_string (Telemetry.decisions_report tel);
   print_newline ();
@@ -86,6 +90,18 @@ let export_trace tel path =
 
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
+
+(* SLO-audit bucket width, exposed on the commands that print the audit
+   (default matches Slo_audit's built-in 10ms). *)
+let audit_window_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "audit-window-us" ] ~docv:"US"
+        ~doc:"SLO-audit bucket width in microseconds (default 10000 = 10ms)")
+
+let audit_window_of us =
+  if us <= 0 then failwith "--audit-window-us must be positive"
+  else Reflex_engine.Time.us us
 
 let run_cmd =
   let doc = "Run one experiment (or 'all') and print its table(s)." in
@@ -153,14 +169,14 @@ let trace_cmd =
       & opt string "reflex_trace.json"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"where to write the Chrome trace JSON")
   in
-  let run full out =
+  let run full out audit_us =
     let mode = if full then Common.Full else Common.Quick in
     let { Tracing.telemetry = tel; rows } = Tracing.run ~mode () in
     Reflex_stats.Table.print (Tracing.to_table rows);
-    print_telemetry_reports tel;
+    print_telemetry_reports ~audit_window:(audit_window_of audit_us) tel;
     export_trace tel out
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ full_arg $ out_arg)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ full_arg $ out_arg $ audit_window_arg)
 
 let chaos_cmd =
   let doc =
@@ -182,24 +198,91 @@ let chaos_cmd =
       & info [ "no-verify" ]
           ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
   in
-  let run full seed no_verify =
+  let run full seed no_verify audit_us =
     let mode = if full then Common.Full else Common.Quick in
+    let window = audit_window_of audit_us in
     if no_verify then begin
       let r = Chaos.run ~mode ~seed () in
       print_string (Chaos.render_result r);
       print_newline ();
-      print_string (Slo_audit.report r.Chaos.telemetry)
+      print_string (Slo_audit.report ~window r.Chaos.telemetry)
     end
     else begin
       print_string (Chaos.debrief ~mode ~seed ());
       let r = Chaos.run ~mode ~seed () in
       print_newline ();
-      print_string (Slo_audit.report r.Chaos.telemetry)
+      print_string (Slo_audit.report ~window r.Chaos.telemetry)
     end
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ full_arg $ seed_arg $ no_verify_arg)
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ full_arg $ seed_arg $ no_verify_arg $ audit_window_arg)
+
+let monitor_cmd =
+  let doc =
+    "Run the monitoring acceptance scenario: the chaos world under the scripted fault \
+     plan with the online monitoring pipeline armed (windowed time-series store, SLO \
+     error budgets, multi-window burn-rate / load-knee / anomaly alert rules, opt-in \
+     remediation).  The debrief asserts that alerts fire inside injected-fault windows \
+     and name the overlapping fault, that a clean control run is silent, that a \
+     disabled-monitor run is byte-identical to a no-monitor run, and that the whole \
+     render is bit-reproducible serial and under two domains."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"N" ~doc:"root seed for the world, generators and injector")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
+  in
+  let prom_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "write the faulted leg's Prometheus text exposition (telemetry registry + \
+             budget and alert gauges) to $(docv)")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace_event JSON of the faulted leg to $(docv): lifecycle \
+             spans, fault windows as duration events, alerts as instant events")
+  in
+  let run full seed no_verify prom_out trace_out =
+    let mode = if full then Common.Full else Common.Quick in
+    if not no_verify then print_string (Monitor_exp.debrief ~mode ~seed ());
+    if no_verify || prom_out <> None || trace_out <> None then begin
+      let r = Monitor_exp.run ~mode ~seed () in
+      if no_verify then print_string (Monitor_exp.render_result r);
+      let prom, instants, _ = Monitor_exp.exports r in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc prom;
+          close_out oc;
+          Printf.printf "\nPrometheus exposition written to %s\n" path)
+        prom_out;
+      Option.iter
+        (fun path ->
+          Trace_export.write_chrome_json ~extra:instants r.Monitor_exp.faulted.telemetry
+            path;
+          Printf.printf
+            "\nChrome trace written to %s (fault windows + alert instants included)\n" path)
+        trace_out
+    end
+  in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    Term.(const run $ full_arg $ seed_arg $ no_verify_arg $ prom_out_arg $ trace_out_arg)
 
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
   let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd; monitor_cmd ]))

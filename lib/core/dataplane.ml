@@ -293,4 +293,12 @@ let token_usage_rate t =
   let elapsed = Time.to_float_sec (Time.diff (Sim.now t.sim) t.created_at) in
   if elapsed <= 0.0 then 0.0 else t.tokens_spent /. elapsed
 
+(* Cumulative weighted tokens this tenant's submitted requests cost — the
+   per-tenant half of the load-knee signal (lib/monitor takes windowed
+   deltas to place each tenant on the latency-vs-weighted-IOPS curve). *)
+let tenant_tokens_submitted t ~id =
+  match Scheduler.find_tenant t.scheduler id with
+  | Some tenant -> Some (Tenant.submitted_cost_total tenant)
+  | None -> None
+
 let scheduling_rounds t = t.rounds

@@ -101,4 +101,10 @@ val tokens_spent : 'a t -> float
 (** Tokens spent per second of simulated time since creation. *)
 val token_usage_rate : 'a t -> float
 
+(** Cumulative weighted tokens the tenant's submitted requests have cost
+    on this thread ([None]: tenant not on this thread).  The monitoring
+    layer takes windowed deltas of this to place a tenant's operating
+    point on the device's latency-vs-weighted-IOPS curve. *)
+val tenant_tokens_submitted : 'a t -> id:int -> float option
+
 val scheduling_rounds : 'a t -> int

@@ -452,6 +452,18 @@ let tokens_spent t =
 let token_usage_rate t =
   Array.fold_left (fun acc dp -> acc +. Dataplane.token_usage_rate dp) 0.0 t.threads
 
+(* Cumulative weighted tokens one tenant's submissions have cost.  A
+   tenant lives on exactly one thread, but rebalancing resets the
+   per-thread accumulator view, so sum across all threads defensively
+   (at most one is non-zero for a live tenant). *)
+let tenant_tokens_submitted t ~tenant =
+  Array.fold_left
+    (fun acc dp ->
+      match Dataplane.tenant_tokens_submitted dp ~id:tenant with
+      | Some x -> acc +. x
+      | None -> acc)
+    0.0 t.threads
+
 let thread_utilizations t =
   List.init t.active (fun i -> Dataplane.utilization t.threads.(i))
 

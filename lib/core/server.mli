@@ -92,6 +92,12 @@ val token_usage_rate : t -> float
     rates). *)
 val tokens_spent : t -> float
 
+(** Cumulative weighted tokens one tenant's submitted requests have cost
+    (0 for unknown tenants).  Windowed deltas of this against the
+    device's {!Reflex_flash.Device_profile.knee_token_rate} drive the
+    monitoring layer's load-knee detector. *)
+val tenant_tokens_submitted : t -> tenant:int -> float
+
 val thread_utilizations : t -> float list
 val registered_tenants : t -> int
 

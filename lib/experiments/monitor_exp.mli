@@ -1,0 +1,71 @@
+(** The monitoring acceptance scenario ([reflex_sim monitor]).
+
+    Runs the chaos world under the scripted fault plan with the
+    {!Reflex_monitor.Monitor} pipeline armed and checks, in one
+    deterministic render:
+
+    - alerts fire under faults, every fired alert lands inside a
+      settle-padded fault window, and each names the overlapping fault;
+    - a clean control run produces {e zero} alert events;
+    - a disabled-monitor run is byte-identical to a no-monitor run
+      (and an enabled observer-only monitor leaves the world digest
+      unchanged too);
+    - an opt-in remediation binding (burn alert → capacity re-pricing)
+      actually applies.
+
+    {!debrief} re-renders with the same seed serially and under
+    [Runner --jobs 2] and asserts byte-identical output — the alert
+    timeline is part of the render, so this is the bit-reproducible
+    alerting check. *)
+
+open Reflex_engine
+open Reflex_faults
+open Reflex_monitor
+
+type leg = {
+  digest : string;
+  monitor : Monitor.t;
+  telemetry : Reflex_telemetry.Telemetry.t;
+  plan : Fault_plan.t;
+  injected : int;
+  recovered : int;
+}
+
+type result = {
+  faulted : leg;
+  clean : leg;
+  remediated : leg;
+  digest_none : string;
+  digest_disabled : string;
+  fired : Alerts.event list;
+  in_window : int;
+  named : int;
+  pad : Time.t;
+  interval : Time.t;
+}
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> result
+
+(** One clean (fault-free) monitored leg only — cheap enough to sweep
+    seeds in the zero-alerts-on-clean-runs property test. *)
+val run_clean : ?mode:Common.mode -> ?seed:int64 -> unit -> leg
+
+val alerts_fired : result -> bool
+val alerts_in_windows : result -> bool
+val alerts_named : result -> bool
+val clean_silent : result -> bool
+val disabled_identical : result -> bool
+val observer_identical : result -> bool
+val remediation_applied : result -> bool
+val ok : result -> bool
+
+val render_result : result -> string
+val render : ?mode:Common.mode -> ?seed:int64 -> unit -> string
+
+(** [(prometheus page, chrome instant fragments, monitor)] of the
+    faulted leg, for the CLI's [--prom-out]/[--trace-out]. *)
+val exports : result -> string * string list * Monitor.t
+
+(** {!render} plus same-seed rerun and serial-vs-parallel byte-identity
+    checks. *)
+val debrief : ?mode:Common.mode -> ?seed:int64 -> unit -> string

@@ -15,3 +15,4 @@ module Fig7 = Fig7
 module Ablations = Ablations
 module Tracing = Tracing
 module Chaos = Chaos
+module Monitor_exp = Monitor_exp

@@ -97,6 +97,14 @@ let read_only_iops p =
 
 let token_capacity p = float_of_int p.n_dies /. Time.to_float_sec p.t_read
 
+(* Hockey-stick onset (Figures 1/3): beyond this weighted token rate,
+   die queueing dominates service time and tail latency takes off.  The
+   0.8 default matches where the calibrated curves leave their flat
+   region (device A: ~340K of ~425K tokens/s). *)
+let knee_token_rate ?(frac = 0.8) p =
+  if frac <= 0.0 || frac > 1.0 then invalid_arg "Device_profile.knee_token_rate: frac";
+  frac *. token_capacity p
+
 let pp fmt p =
   Format.fprintf fmt
     "device %s: %d dies, t_read=%a, write_cost=%.0f tokens, %.0fK RO IOPS, %.0fK tokens/s" p.name

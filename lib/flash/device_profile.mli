@@ -65,4 +65,12 @@ val read_only_iops : t -> float
 (** Peak weighted tokens/sec under mixed load (dies / t_read). *)
 val token_capacity : t -> float
 
+(** Onset of the hockey-stick region of the latency-vs-throughput curve
+    (Figures 1/3): beyond [frac] (default 0.8) of {!token_capacity},
+    queueing dominates die service and p95 latency takes off.  The
+    monitoring layer's load-knee detector flags tenants whose operating
+    point (windowed weighted token rate, windowed p95) crosses this
+    knee. *)
+val knee_token_rate : ?frac:float -> t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,354 @@
+open Reflex_engine
+open Reflex_stats
+open Reflex_core
+open Reflex_telemetry
+
+(* The monitoring facade: one daemon tick drives the whole pipeline
+
+     tenant sync -> Tsdb window close -> budget accounting
+       -> alert rule evaluation -> (opt-in) remediation
+
+   in a fixed order, so every derived quantity is a deterministic
+   function of simulation state and the alert timeline of a same-seed
+   run is byte-identical serial or under Runner --jobs.
+
+   Tenants register *after* the monitor is armed (the scheduler pushes
+   SLOs into Telemetry when a tenant is added), so per-tenant sources,
+   budgets and rules are wired lazily at the first tick that sees a new
+   id in Telemetry.tenants_with_slo (a sorted list — wiring order is
+   deterministic too).
+
+   Zero-overhead-when-disabled: a monitor created with ~enabled:false
+   (or over a disabled telemetry) registers nothing, arms no daemon and
+   never mutates the world, so a disabled-monitor run is bit-identical
+   to a run with no monitor at all.  Remediation is opt-in via [bind];
+   without bindings the monitor is a pure observer even when enabled. *)
+
+type t = {
+  enabled : bool;
+  server : Server.t;
+  telemetry : Telemetry.t;
+  tsdb : Tsdb.t;
+  alerts : Alerts.t;
+  budgets : (int, Budget.t) Hashtbl.t;
+  tracked : (int, unit) Hashtbl.t;
+  target : float;
+  burn_short : int * float;
+  burn_long : int * float;
+  budget_period : Time.t;
+  z_thresh : float;
+  anomaly_floor : float;
+  knee_rate : float;
+  interval : Time.t;
+  cooldown : Time.t;
+  mutable bindings : (string * Remediate.action) list; (* name-sorted *)
+  last_applied : (string, Time.t) Hashtbl.t;
+  mutable remediation_log_rev : (Time.t * string * Remediate.action * string) list;
+  mutable last_closed : int;
+  mutable running : bool;
+}
+
+let fault_annotation telemetry ~lookback now =
+  let recent_start = if Time.(now > lookback) then Time.sub now lookback else Time.zero in
+  let labels =
+    Telemetry.fault_windows telemetry
+    |> List.filter_map (fun (label, start, stop) ->
+           let still_relevant =
+             match stop with None -> true | Some s -> Time.(s >= recent_start)
+           in
+           if Time.(start <= now) && still_relevant then Some label else None)
+    |> List.sort_uniq compare
+  in
+  match labels with
+  | [] -> None
+  | l -> Some ("faults: " ^ String.concat "," l)
+
+let create ?(enabled = true) ?(interval = Time.ms 1) ?(capacity = 512) ?(target = 0.999)
+    ?(burn_short = (1, 14.0)) ?(burn_long = (10, 6.0)) ?(budget_period = Time.sec 1)
+    ?(z_thresh = 3.0) ?(anomaly_floor = 0.25) ?(knee_frac = 0.8) ?(cooldown = Time.ms 5)
+    ?fault_lookback ~server ~telemetry () =
+  let enabled = enabled && Telemetry.enabled telemetry in
+  let tsdb = if enabled then Tsdb.create ~capacity ~interval () else Tsdb.disabled in
+  let lookback =
+    match fault_lookback with
+    | Some l -> l
+    | None -> Time.scale interval (float_of_int (fst burn_long))
+  in
+  let alerts = Alerts.create ~annotate:(fault_annotation telemetry ~lookback) () in
+  let knee_rate =
+    Reflex_flash.Device_profile.knee_token_rate ~frac:knee_frac
+      (Reflex_flash.Nvme_model.profile (Server.device server))
+  in
+  let t =
+    {
+      enabled;
+      server;
+      telemetry;
+      tsdb;
+      alerts;
+      budgets = Hashtbl.create 8;
+      tracked = Hashtbl.create 8;
+      target;
+      burn_short;
+      burn_long;
+      budget_period;
+      z_thresh;
+      anomaly_floor;
+      knee_rate;
+      interval;
+      cooldown;
+      bindings = [];
+      last_applied = Hashtbl.create 8;
+      remediation_log_rev = [];
+      last_closed = 0;
+      running = false;
+    }
+  in
+  if enabled then begin
+    Tsdb.register_cumulative tsdb "server/completed" (fun () ->
+        float_of_int (Server.requests_completed server));
+    Tsdb.register_cumulative tsdb "server/tokens_spent" (fun () ->
+        Server.tokens_spent server);
+    Tsdb.register_gauge tsdb "server/active_threads" (fun () ->
+        float_of_int (Server.active_threads server))
+  end;
+  t
+
+let enabled t = t.enabled
+let interval t = t.interval
+let tsdb t = t.tsdb
+let alerts t = t.alerts
+let knee_rate t = t.knee_rate
+
+(* Wire sources, budget and the three default rules for one newly seen
+   latency-critical tenant. *)
+let track_tenant t id ~slo_us =
+  let pfx = Printf.sprintf "t%d" id in
+  let latency = pfx ^ "/latency" in
+  let slo_ns = Int64.of_int (slo_us * 1000) in
+  Tsdb.register_hist t.tsdb latency (Telemetry.tenant_latency_hist t.telemetry ~tenant:id);
+  Tsdb.register_derived t.tsdb (pfx ^ "/bad") (fun w ->
+      match Tsdb.hist w latency with
+      | Some h -> float_of_int (Hdr_histogram.count_above h slo_ns)
+      | None -> 0.0);
+  Tsdb.register_derived t.tsdb (pfx ^ "/good") (fun w ->
+      match Tsdb.hist w latency with
+      | Some h ->
+        float_of_int (Hdr_histogram.count h - Hdr_histogram.count_above h slo_ns)
+      | None -> 0.0);
+  Tsdb.register_cumulative t.tsdb (pfx ^ "/tokens") (fun () ->
+      Server.tenant_tokens_submitted t.server ~tenant:id);
+  (* EWMA over the windowed SLO-violating fraction, scored before
+     fold-in.  The bad fraction is far less noisy than a per-window p95
+     (which is within a couple of samples of the max at these window
+     populations), and the sigma floor of 10 percentage points means a
+     z >= 3 needs the fraction to jump >= 30pp above baseline — healthy
+     tail blips from BE interference never get there. *)
+  let bad_fraction h =
+    let total = Hdr_histogram.count h in
+    if total = 0 then 0.0
+    else float_of_int (Hdr_histogram.count_above h slo_ns) /. float_of_int total
+  in
+  let ewma = Detect.Ewma.create ~sigma_floor:0.1 () in
+  Tsdb.register_derived t.tsdb (pfx ^ "/badfrac_z") (fun w ->
+      match Tsdb.hist w latency with
+      | Some h when Hdr_histogram.count h > 0 -> Detect.Ewma.observe ewma (bad_fraction h)
+      | _ -> 0.0);
+  Hashtbl.replace t.budgets id
+    (Budget.create ~tenant:id ~target:t.target ~period:t.budget_period);
+  (* Rule 1: SRE multi-window burn rate on the SLO error budget. *)
+  Alerts.add t.alerts
+    (Alerts.burn_rule ~severity:Alerts.Page ~name:(pfx ^ "/burn") ~target:t.target
+       ~good:(pfx ^ "/good") ~bad:(pfx ^ "/bad") ~short:t.burn_short ~long:t.burn_long ());
+  (* Rule 2: load-knee crossing — past the device's hockey-stick knee
+     while violating the SLO bound. *)
+  Alerts.add t.alerts
+    (Alerts.rule ~severity:Alerts.Ticket ~name:(pfx ^ "/knee") (fun _ w ->
+         let span_s = Tsdb.span_us w /. 1e6 in
+         let tokens = Option.value ~default:0.0 (Tsdb.value w (pfx ^ "/tokens")) in
+         if span_s <= 0.0 then None
+         else
+           let rate = tokens /. span_s in
+           match Tsdb.hist w latency with
+           | Some h when Hdr_histogram.count h > 0 ->
+             let p95 = Hdr_histogram.percentile_us h 95.0 in
+             if
+               Detect.knee_crossed ~rate ~knee_rate:t.knee_rate ~p95_us:p95
+                 ~knee_latency_us:(float_of_int slo_us)
+             then
+               Some
+                 (Printf.sprintf "%.0f tok/s >= knee %.0f with p95 %.0fus > slo %dus"
+                    rate t.knee_rate p95 slo_us)
+             else None
+           | _ -> None));
+  (* Rule 3: EWMA z-score anomaly on the violating fraction, gated on
+     an absolute floor so clean runs stay silent no matter how wiggly
+     the baseline is. *)
+  Alerts.add t.alerts
+    (Alerts.rule ~severity:Alerts.Info ~name:(pfx ^ "/anomaly") (fun _ w ->
+         let z = Option.value ~default:0.0 (Tsdb.value w (pfx ^ "/badfrac_z")) in
+         match Tsdb.hist w latency with
+         | Some h when Hdr_histogram.count h > 0 ->
+           let frac = bad_fraction h in
+           if z >= t.z_thresh && frac >= t.anomaly_floor then
+             Some
+               (Printf.sprintf "%.0f%% of window over %dus SLO, z=%.1f vs baseline %.0f%%"
+                  (100.0 *. frac) slo_us z (100.0 *. Detect.Ewma.mean ewma))
+           else None
+         | _ -> None))
+
+(* Tenants register after the monitor is armed; pick up new ids each
+   tick.  Only latency-critical tenants carry budgets and rules. *)
+let sync_tenants t =
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.tracked id) then begin
+        Hashtbl.replace t.tracked id ();
+        match Telemetry.tenant_slo t.telemetry ~tenant:id with
+        | Some (true, slo_us) -> track_tenant t id ~slo_us
+        | _ -> ()
+      end)
+    (Telemetry.tenants_with_slo t.telemetry)
+
+let update_budgets t w =
+  Hashtbl.iter
+    (fun id budget ->
+      let pfx = Printf.sprintf "t%d" id in
+      let value name = Option.value ~default:0.0 (Tsdb.value w name) in
+      let good = value (pfx ^ "/good") and bad = value (pfx ^ "/bad") in
+      if good > 0.0 || bad > 0.0 then Budget.record budget ~good ~bad)
+    t.budgets
+
+let cooldown_ok t rule now =
+  match Hashtbl.find_opt t.last_applied rule with
+  | None -> true
+  | Some last -> Time.(Time.diff now last >= t.cooldown)
+
+let tick t ~now =
+  if t.enabled then begin
+    sync_tenants t;
+    Tsdb.tick t.tsdb ~now;
+    let closed = Tsdb.windows_closed t.tsdb in
+    if closed > t.last_closed then begin
+      t.last_closed <- closed;
+      (match Tsdb.last t.tsdb with Some w -> update_budgets t w | None -> ());
+      let events = Alerts.step t.alerts t.tsdb ~now in
+      List.iter
+        (fun (e : Alerts.event) ->
+          if e.e_kind = Alerts.Fired then
+            match List.assoc_opt e.e_rule t.bindings with
+            | Some action when cooldown_ok t e.e_rule now ->
+              let outcome = Remediate.apply t.server action in
+              Hashtbl.replace t.last_applied e.e_rule now;
+              t.remediation_log_rev <- (now, e.e_rule, action, outcome)
+                                       :: t.remediation_log_rev
+            | _ -> ())
+        events
+    end
+  end
+
+let start t sim () =
+  if t.enabled && not t.running then begin
+    t.running <- true;
+    Sim.every_daemon sim ~every:t.interval (fun now -> tick t ~now)
+  end
+
+let bind t ~rule action =
+  if t.enabled then
+    t.bindings <-
+      List.sort (fun (a, _) (b, _) -> compare a b) ((rule, action) :: t.bindings)
+
+let remediation_log t = List.rev t.remediation_log_rev
+let events t = Alerts.events t.alerts
+let fired_total t = Alerts.fired_total t.alerts
+let firing t = Alerts.firing t.alerts
+
+let budgets t =
+  Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.budgets []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+(* {1 Exports} *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Alert timeline as Chrome-trace instant events, ready for
+   Trace_export.to_chrome_json ~extra. *)
+let chrome_instants t =
+  List.map
+    (fun (e : Alerts.event) ->
+      let buf = Buffer.create 160 in
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf ("alert:" ^ e.e_rule);
+      Buffer.add_string buf
+        (Printf.sprintf ",\"cat\":\"alert\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"g\",\"pid\":0,\"tid\":0,\"args\":{\"kind\":\"%s\",\"severity\":\"%s\",\"detail\":"
+           (Time.to_float_us e.e_time)
+           (Alerts.kind_label e.e_kind)
+           (Alerts.severity_label e.e_severity));
+      add_json_string buf e.e_detail;
+      Buffer.add_string buf "}}";
+      Buffer.contents buf)
+    (events t)
+
+let prometheus t =
+  if not t.enabled then ""
+  else begin
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Prom_export.render t.telemetry);
+    List.iter
+      (fun (id, b) ->
+        let labels = [ ("tenant", string_of_int id) ] in
+        Buffer.add_string buf
+          (Prom_export.line ~name:"reflex_slo_budget_consumed" ~labels (Budget.consumed b));
+        Buffer.add_string buf
+          (Prom_export.line ~name:"reflex_slo_budget_burn_rate" ~labels (Budget.burn_rate b)))
+      (budgets t);
+    List.iter
+      (fun name ->
+        Buffer.add_string buf
+          (Prom_export.line ~name:"reflex_alert_firing" ~labels:[ ("rule", name) ] 1.0))
+      (firing t);
+    Buffer.add_string buf
+      (Prom_export.line ~name:"reflex_alerts_fired_total" (float_of_int (fired_total t)));
+    Buffer.contents buf
+  end
+
+(* {1 Report} *)
+
+let report t =
+  if not t.enabled then "== monitor disabled ==\n"
+  else begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "== monitor (%.1fms interval, %d windows, %d tenants, knee %.0f tok/s) ==\n"
+         (Time.to_float_ms t.interval)
+         (Tsdb.windows_closed t.tsdb)
+         (Hashtbl.length t.budgets) t.knee_rate);
+    List.iter
+      (fun (_, b) -> Buffer.add_string buf (Fmt.str "  %a\n" Budget.pp b))
+      (budgets t);
+    Buffer.add_string buf (Alerts.report t.alerts);
+    (match remediation_log t with
+    | [] -> ()
+    | log ->
+      Buffer.add_string buf "== remediations ==\n";
+      List.iter
+        (fun (time, rule, action, outcome) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%10.3fms %-28s %s -> %s\n" (Time.to_float_ms time) rule
+               (Remediate.label action) outcome))
+        log);
+    Buffer.contents buf
+  end

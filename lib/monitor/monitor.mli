@@ -1,0 +1,102 @@
+(** The monitoring facade: one daemon tick drives
+
+    tenant sync → {!Tsdb} window close → {!Budget} accounting →
+    {!Alerts} rule evaluation → opt-in {!Remediate} actions
+
+    in a fixed order, so the alert timeline of a same-seed run is
+    byte-identical serial or under [Runner --jobs].
+
+    Per-LC-tenant instrumentation (windowed latency delta histograms,
+    good/bad counts against the SLO bound, weighted-token rates, EWMA
+    p95 z-scores) is wired lazily: tenants register with the scheduler
+    {e after} the monitor is armed, and each tick picks up new ids from
+    [Telemetry.tenants_with_slo].  Every LC tenant gets three default
+    rules: [t<ID>/burn] (multi-window burn rate, default 1 window @ 14×
+    ∧ 10 windows @ 6×), [t<ID>/knee] (operating point past the device's
+    hockey-stick knee while violating the SLO) and [t<ID>/anomaly]
+    (EWMA z-score on the windowed SLO-violating fraction, gated on an
+    absolute floor so clean runs stay silent).
+
+    {e Zero overhead when disabled}: with [~enabled:false] (or a
+    disabled telemetry) nothing is registered and no daemon is armed —
+    a disabled-monitor run is bit-identical to a run with no monitor.
+    Remediation is opt-in via {!bind}; without bindings the monitor
+    never mutates the world. *)
+
+open Reflex_engine
+open Reflex_core
+open Reflex_telemetry
+
+type t
+
+(** Defaults: sampling [interval] 1ms, ring [capacity] 512 windows,
+    SLO [target] 0.999, burn windows [burn_short = (1, 14.0)] and
+    [burn_long = (10, 6.0)] (windows, factor), [budget_period] 1s,
+    anomaly [z_thresh] 3.0 with [anomaly_floor] 0.25 (minimum windowed
+    violating fraction), [knee_frac] 0.8 of device token capacity,
+    remediation [cooldown] 5ms per rule.  [fault_lookback] bounds how
+    far back a fired alert searches for fault windows to name in its
+    detail (default: the long burn window). *)
+val create :
+  ?enabled:bool ->
+  ?interval:Time.t ->
+  ?capacity:int ->
+  ?target:float ->
+  ?burn_short:int * float ->
+  ?burn_long:int * float ->
+  ?budget_period:Time.t ->
+  ?z_thresh:float ->
+  ?anomaly_floor:float ->
+  ?knee_frac:float ->
+  ?cooldown:Time.t ->
+  ?fault_lookback:Time.t ->
+  server:Server.t ->
+  telemetry:Telemetry.t ->
+  unit ->
+  t
+
+val enabled : t -> bool
+val interval : t -> Time.t
+val tsdb : t -> Tsdb.t
+val alerts : t -> Alerts.t
+
+(** Weighted-token knee rate derived from the server's device profile. *)
+val knee_rate : t -> float
+
+(** Advance the pipeline one window.  Normally driven by {!start}. *)
+val tick : t -> now:Time.t -> unit
+
+(** Arm the periodic daemon tick ({!Sim.every_daemon}: never keeps the
+    simulation alive).  Idempotent; no-op when disabled. *)
+val start : t -> Sim.t -> unit -> unit
+
+(** {1 Remediation (opt-in)} *)
+
+(** [bind t ~rule action] applies [action] whenever [rule] fires, at
+    most once per cooldown window per rule. *)
+val bind : t -> rule:string -> Remediate.action -> unit
+
+(** [(time, rule, action, outcome)] in application order. *)
+val remediation_log : t -> (Time.t * string * Remediate.action * string) list
+
+(** {1 Queries} *)
+
+val events : t -> Alerts.event list
+val fired_total : t -> int
+val firing : t -> string list
+
+(** Per-tenant budgets, sorted by tenant id. *)
+val budgets : t -> (int * Budget.t) list
+
+(** {1 Exports} *)
+
+(** Alert timeline as Chrome-trace instant-event JSON objects, ready
+    for [Trace_export.to_chrome_json ~extra]. *)
+val chrome_instants : t -> string list
+
+(** Prometheus text exposition: the telemetry registry plus budget
+    consumption/burn gauges and currently-firing alert rules.  Empty
+    when disabled. *)
+val prometheus : t -> string
+
+val report : t -> string

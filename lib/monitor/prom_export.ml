@@ -1,0 +1,80 @@
+open Reflex_stats
+
+(* Prometheus text exposition (version 0.0.4) of a Telemetry metrics
+   registry.
+
+   Metric names are sanitized into the Prometheus grammar
+   (letters, digits, '_' and ':') and prefixed with "reflex_"; the
+   slash-separated registry paths map '/' (and every other illegal
+   character) to '_'.  Histograms are rendered as summaries with
+   microsecond quantiles.  All output is sorted by metric name, so
+   same-seed runs export byte-identical pages. *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let sanitize = function "" -> "_" | s -> sanitize s
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let line ~name ?(labels = []) v =
+  let labels =
+    match labels with
+    | [] -> ""
+    | l ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v)) l)
+      ^ "}"
+  in
+  Printf.sprintf "%s%s %.6g\n" (sanitize name) labels v
+
+let render ?(prefix = "reflex_") tel =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun name ->
+      let pname = prefix ^ sanitize name in
+      match Reflex_telemetry.Telemetry.find_metric tel name with
+      | None -> ()
+      | Some (`Counter v) ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" pname);
+        Buffer.add_string buf (line ~name:pname v)
+      | Some (`Gauge v) ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pname);
+        Buffer.add_string buf (line ~name:pname v)
+      | Some (`Hist h) ->
+        let pname = pname ^ "_us" in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" pname);
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (line ~name:pname
+                 ~labels:[ ("quantile", Printf.sprintf "%g" (q /. 100.0)) ]
+                 (Hdr_histogram.percentile_us h q)))
+          [ 50.0; 95.0; 99.0 ];
+        Buffer.add_string buf
+          (line ~name:(pname ^ "_count") (float_of_int (Hdr_histogram.count h)));
+        Buffer.add_string buf
+          (line ~name:(pname ^ "_mean") (Hdr_histogram.mean_us h)))
+    (Reflex_telemetry.Telemetry.metric_names tel);
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Prometheus text exposition (format 0.0.4) of a {!Reflex_telemetry.Telemetry}
+    metrics registry.
+
+    Registry paths ([qos/t7/tokens]) are sanitized into the Prometheus
+    grammar ('/' and other illegal characters become '_') and prefixed.
+    Counters and gauges render as single samples; histograms render as
+    summaries with microsecond p50/p95/p99 quantiles plus [_count] and
+    [_mean].  Output is sorted by metric name — same-seed runs export
+    byte-identical pages. *)
+
+val sanitize : string -> string
+
+(** One exposition line; [labels] values are escaped. *)
+val line : name:string -> ?labels:(string * string) list -> float -> string
+
+(** Render the whole registry.  [prefix] defaults to ["reflex_"]. *)
+val render : ?prefix:string -> Reflex_telemetry.Telemetry.t -> string

@@ -1,0 +1,27 @@
+(** Opt-in feedback loop from fired alerts to control-plane actions.
+
+    Alerting is a pure observer by default; experiments opt into
+    remediation by binding rule names to actions in the {!Monitor}
+    facade.  Every action is a deterministic function of simulation
+    state, so remediated runs replay bit-identically. *)
+
+open Reflex_core
+
+type action =
+  | Reprice of float
+      (** Push this capacity factor to the control plane
+          ({!Server.reprice}). *)
+  | Reprice_for_device
+      (** Re-derive the factor from current device health
+          ({!Reflex_faults.Degrade.reprice_for_device}). *)
+  | Demote of int  (** Demote one LC tenant to best-effort in place. *)
+  | Demote_until_sustainable of float
+      (** Demote loosest-SLO-first until LC reservations fit within
+          this margin of the degraded rate. *)
+  | Log of string  (** No-op marker; lands in the remediation log. *)
+
+val label : action -> string
+
+(** Apply one action; returns a one-line outcome for the remediation
+    log. *)
+val apply : Server.t -> action -> string

@@ -1,0 +1,227 @@
+open Reflex_engine
+open Reflex_stats
+
+(* Ring-buffered windowed time-series store.
+
+   Sources are registered once and read at every [tick]: a CUMULATIVE
+   source contributes the delta since the previous tick (rates),
+   a GAUGE contributes its instantaneous value at window close, a
+   HISTOGRAM source contributes the *delta histogram* between two
+   mergeable snapshots (Hdr_histogram.copy/diff), so windowed p95/p99
+   are exact bucket-count deltas, and a DERIVED source is computed from
+   the window being closed (e.g. "violations" = count_above of the
+   window's latency delta).
+
+   The same zero-overhead-when-disabled contract as Telemetry: every
+   mutating operation on the shared {!disabled} instance returns
+   immediately, so a world without monitoring pays nothing.  All
+   iteration orders are name-sorted, so reports are deterministic across
+   runs and domains. *)
+
+type window = {
+  w_start : Time.t;
+  w_stop : Time.t;
+  w_values : (string * float) array; (* name-sorted *)
+  w_hists : (string * Hdr_histogram.t) array; (* delta hists, name-sorted *)
+}
+
+type source =
+  | Cumulative of (unit -> float) * float ref (* reader, last snapshot *)
+  | Gauge of (unit -> float)
+  | Hist of Hdr_histogram.t * Hdr_histogram.t ref (* live, last snapshot *)
+  | Derived of (window -> float)
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  sources : (string, source) Hashtbl.t;
+  mutable windows_rev : window list; (* newest first, <= capacity *)
+  mutable n_windows : int;
+  mutable closed_total : int;
+  mutable last_tick : Time.t;
+  mutable running : bool;
+  interval : Time.t;
+}
+
+let make ~enabled ~capacity ~interval =
+  {
+    enabled;
+    capacity;
+    sources = Hashtbl.create 32;
+    windows_rev = [];
+    n_windows = 0;
+    closed_total = 0;
+    last_tick = Time.zero;
+    running = false;
+    interval;
+  }
+
+let disabled = make ~enabled:false ~capacity:1 ~interval:(Time.ms 1)
+
+let create ?(capacity = 512) ?(interval = Time.ms 1) () =
+  if capacity < 1 then invalid_arg "Tsdb.create: capacity < 1";
+  if Time.(interval <= Time.zero) then invalid_arg "Tsdb.create: non-positive interval";
+  make ~enabled:true ~capacity ~interval
+
+let enabled t = t.enabled
+let interval t = t.interval
+
+let check_free t name =
+  if Hashtbl.mem t.sources name then invalid_arg ("Tsdb: duplicate source " ^ name)
+
+let register_cumulative t name f =
+  if t.enabled then begin
+    check_free t name;
+    Hashtbl.replace t.sources name (Cumulative (f, ref (f ())))
+  end
+
+let register_gauge t name f =
+  if t.enabled then begin
+    check_free t name;
+    Hashtbl.replace t.sources name (Gauge f)
+  end
+
+let register_hist t name h =
+  if t.enabled then begin
+    check_free t name;
+    Hashtbl.replace t.sources name (Hist (h, ref (Hdr_histogram.copy h)))
+  end
+
+let register_derived t name f =
+  if t.enabled then begin
+    check_free t name;
+    Hashtbl.replace t.sources name (Derived f)
+  end
+
+let has_source t name = Hashtbl.mem t.sources name
+
+let sorted_sources t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sources []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let tick t ~now =
+  if t.enabled && Time.(now > t.last_tick) then begin
+    let sources = sorted_sources t in
+    (* Pass 1: base sources (cumulative deltas, gauges, hist deltas). *)
+    let values = ref [] in
+    let hists = ref [] in
+    List.iter
+      (fun (name, s) ->
+        match s with
+        | Cumulative (f, last) ->
+          let v = f () in
+          values := (name, v -. !last) :: !values;
+          last := v
+        | Gauge f -> values := (name, f ()) :: !values
+        | Hist (live, last) ->
+          let snap = Hdr_histogram.copy live in
+          hists := (name, Hdr_histogram.diff snap ~since:!last) :: !hists;
+          last := snap
+        | Derived _ -> ())
+      sources;
+    let base =
+      {
+        w_start = t.last_tick;
+        w_stop = now;
+        w_values = Array.of_list (List.rev !values);
+        w_hists = Array.of_list (List.rev !hists);
+      }
+    in
+    (* Pass 2: derived sources see the freshly-closed base window. *)
+    let derived =
+      List.filter_map
+        (fun (name, s) -> match s with Derived f -> Some (name, f base) | _ -> None)
+        sources
+    in
+    let w =
+      if derived = [] then base
+      else begin
+        let all = Array.append base.w_values (Array.of_list derived) in
+        Array.sort (fun (a, _) (b, _) -> compare a b) all;
+        { base with w_values = all }
+      end
+    in
+    t.windows_rev <- w :: t.windows_rev;
+    t.n_windows <- t.n_windows + 1;
+    t.closed_total <- t.closed_total + 1;
+    if t.n_windows > t.capacity then begin
+      t.windows_rev <- List.filteri (fun i _ -> i < t.capacity) t.windows_rev;
+      t.n_windows <- t.capacity
+    end;
+    t.last_tick <- now
+  end
+
+let start t sim () =
+  if t.enabled && not t.running then begin
+    t.running <- true;
+    Sim.every_daemon sim ~every:t.interval (fun now -> tick t ~now)
+  end
+
+let windows t = List.rev t.windows_rev
+let window_count t = t.n_windows
+let windows_closed t = t.closed_total
+let last t = match t.windows_rev with [] -> None | w :: _ -> Some w
+
+(* Newest [k] windows, oldest first. *)
+let last_n t k =
+  let rec take acc n = function
+    | w :: rest when n > 0 -> take (w :: acc) (n - 1) rest
+    | _ -> acc
+  in
+  take [] k t.windows_rev
+
+let assoc_of name arr =
+  let n = Array.length arr in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = arr.(mid) in
+      let c = compare name k in
+      if c = 0 then Some v else if c < 0 then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 n
+
+let value w name = assoc_of name w.w_values
+let hist w name = assoc_of name w.w_hists
+
+let p95_us w name =
+  match hist w name with Some h -> Some (Hdr_histogram.percentile_us h 95.0) | None -> None
+
+let p99_us w name =
+  match hist w name with Some h -> Some (Hdr_histogram.percentile_us h 99.0) | None -> None
+
+(* Sum of a value series over the newest [k] windows (missing names count
+   as 0 — a source registered mid-run simply contributes nothing to
+   earlier windows). *)
+let sum_last t ~k name =
+  List.fold_left
+    (fun acc w -> match value w name with Some v -> acc +. v | None -> acc)
+    0.0 (last_n t k)
+
+let span_us w = Time.to_float_us (Time.diff w.w_stop w.w_start)
+
+let report ?(limit = 8) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== tsdb (%d windows closed, %d retained, %.1fms interval) ==\n"
+       t.closed_total t.n_windows (Time.to_float_ms t.interval));
+  let ws = last_n t limit in
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "window %.3f..%.3fms\n" (Time.to_float_ms w.w_start)
+           (Time.to_float_ms w.w_stop));
+      Array.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-34s %14.3f\n" name v))
+        w.w_values;
+      Array.iter
+        (fun (name, h) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-34s n=%-7d p95=%.1fus p99=%.1fus\n" name
+               (Hdr_histogram.count h)
+               (Hdr_histogram.percentile_us h 95.0)
+               (Hdr_histogram.percentile_us h 99.0)))
+        w.w_hists)
+    ws;
+  Buffer.contents buf

@@ -88,6 +88,70 @@ let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 let min_value t = if t.total = 0 then 0L else t.min_v
 let max_value t = t.max_v
 
+(* Lower edge (inclusive) of bucket [i] — the counterpart of [value_of]. *)
+let low_value_of i =
+  if i < sub_count then Int64.of_int i
+  else begin
+    let range = (i / sub_count) - 1 in
+    let sub = i mod sub_count in
+    let e = range + sub_bits in
+    let base = Int64.shift_left 1L e in
+    let step = Int64.shift_left 1L (e - sub_bits) in
+    Int64.add base (Int64.mul (Int64.of_int sub) step)
+  end
+
+let copy t =
+  { counts = Array.copy t.counts; total = t.total; sum = t.sum; min_v = t.min_v; max_v = t.max_v }
+
+(* Snapshot delta: the histogram of exactly the values recorded into [t]
+   after [since] was captured ([since] must be an earlier snapshot of the
+   same recording stream, i.e. pointwise [since.counts <= t.counts]).
+   Bucket counts and totals are exact; the delta's min/max are only known
+   to bucket resolution, so they are reconstructed from the occupied
+   bucket edges and clamped into [t]'s observed range (delta values are a
+   subset of [t]'s values). *)
+let diff t ~since =
+  let d = create () in
+  let lo = ref Int64.max_int in
+  let hi = ref 0L in
+  let total = ref 0 in
+  for i = 0 to n_cells - 1 do
+    let c = t.counts.(i) - since.counts.(i) in
+    if c < 0 then
+      invalid_arg "Hdr_histogram.diff: since is not an earlier snapshot of this histogram";
+    if c > 0 then begin
+      d.counts.(i) <- c;
+      total := !total + c;
+      let l = low_value_of i in
+      if Int64.compare l !lo < 0 then lo := l;
+      let h = value_of i in
+      if Int64.compare h !hi > 0 then hi := h
+    end
+  done;
+  d.total <- !total;
+  if !total > 0 then begin
+    d.sum <- Float.max 0.0 (t.sum -. since.sum);
+    d.min_v <- Int64.max !lo t.min_v;
+    d.max_v <- Int64.min !hi t.max_v
+  end;
+  d
+
+(* Recorded values strictly above the bucket containing [v]: counts are
+   bucketed, so the answer is exact at bucket granularity (values sharing
+   [v]'s bucket are counted as "not above" — a relative error bounded by
+   the bucket width, ~1.5% with 6 sub-bucket bits, and exact for
+   [v < 64]). *)
+let count_above t v =
+  if Int64.compare v 0L < 0 then t.total
+  else begin
+    let start = index_of v + 1 in
+    let acc = ref 0 in
+    for i = start to n_cells - 1 do
+      acc := !acc + t.counts.(i)
+    done;
+    !acc
+  end
+
 let merge ~dst ~src =
   for i = 0 to n_cells - 1 do
     dst.counts.(i) <- dst.counts.(i) + src.counts.(i)

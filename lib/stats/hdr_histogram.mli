@@ -31,8 +31,29 @@ val mean : t -> float
 val min_value : t -> int64
 val max_value : t -> int64
 
-(** Merge [src] into [dst]. *)
+(** Merge [src] into [dst].  Commutative and associative on bucket counts,
+    totals, sums and extrema — merging per-shard histograms in any order
+    yields the same aggregate. *)
 val merge : dst:t -> src:t -> unit
+
+(** Independent snapshot of the current state ([record] on the original
+    no longer affects it). *)
+val copy : t -> t
+
+(** [diff t ~since] is the histogram of exactly the values recorded into
+    [t] after the snapshot [since] was taken ([Hdr_histogram.copy]): the
+    windowed-percentile primitive ([diff (copy now) ~since:(copy earlier)]
+    gives exact bucket counts for the interval, so windowed p95/p99 carry
+    the same bounded relative error as the live histogram).  Counts, total
+    and sum are exact deltas; min/max are reconstructed to bucket
+    resolution.  @raise Invalid_argument when [since] is not an earlier
+    snapshot of the same recording stream (some bucket would go
+    negative). *)
+val diff : t -> since:t -> t
+
+(** Recorded values strictly above the bucket containing [v] — exact at
+    bucket granularity (and exact for [v] < 64, the linear region). *)
+val count_above : t -> int64 -> int
 
 val reset : t -> unit
 

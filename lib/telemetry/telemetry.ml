@@ -334,6 +334,15 @@ let metric_names t =
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [] in
   List.sort compare names
 
+(* Typed read-only view of one registered metric (exporters need the
+   kind, not just the scalar [metric_value] projection). *)
+let find_metric t name =
+  match Hashtbl.find_opt t.metrics name with
+  | None -> None
+  | Some (Counter c) -> Some (`Counter c.value)
+  | Some (Gauge g) -> Some (`Gauge (g ()))
+  | Some (Hist h) -> Some (`Hist h)
+
 (* ---------------- tenant dimensions ---------------- *)
 
 let set_tenant_slo t ~tenant ~latency_critical ~latency_us =

@@ -144,6 +144,12 @@ val histogram : t -> string -> Hdr_histogram.t
 (** Registered metric names, sorted. *)
 val metric_names : t -> string list
 
+(** Typed read-only view of one registered metric: its current counter or
+    gauge value, or the live histogram.  Exporters (Prometheus text
+    exposition in lib/monitor) need the kind, not just a scalar. *)
+val find_metric :
+  t -> string -> [ `Counter of float | `Gauge of float | `Hist of Hdr_histogram.t ] option
+
 (** {1 Per-tenant SLO dimensions} *)
 
 val set_tenant_slo : t -> tenant:int -> latency_critical:bool -> latency_us:int -> unit

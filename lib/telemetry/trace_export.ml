@@ -177,7 +177,17 @@ let add_json_string buf s =
     s;
   Buffer.add_char buf '"'
 
-let to_chrome_json tel =
+(* Latest timestamp observed anywhere in the telemetry — closes fault
+   windows that are still open when the trace is exported. *)
+let last_time tel =
+  let t = ref 0L in
+  let see x = if Time.(x > !t) then t := x in
+  Telemetry.iter_spans tel (fun ~time ~tenant:_ ~req_id:_ ~stage:_ -> see time);
+  List.iter (fun (time, _, _) -> see time) (Telemetry.fault_log tel);
+  List.iter (fun s -> see s.Telemetry.s_time) (Telemetry.samples tel);
+  !t
+
+let to_chrome_json ?(extra = []) tel =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   let first = ref true in
@@ -212,11 +222,40 @@ let to_chrome_json tel =
       Buffer.add_string buf ",\"cat\":\"span\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
       Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us time));
       Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%Ld}" tenant req_id));
+  (* Injected-fault windows as duration events on a dedicated row
+     (pid 0 / tid 0, cat "fault"), so latency spikes in the viewer line
+     up visually with the fault that caused them.  A window still open at
+     export time is closed at the latest observed timestamp. *)
+  (match Telemetry.fault_windows tel with
+  | [] -> ()
+  | windows ->
+    let close = last_time tel in
+    List.iter
+      (fun (label, t0, t1) ->
+        let t1 = match t1 with Some t1 -> t1 | None -> Time.max t0 close in
+        sep ();
+        Buffer.add_string buf "{\"name\":";
+        add_json_string buf label;
+        Buffer.add_string buf ",\"cat\":\"fault\",\"ph\":\"X\",\"ts\":";
+        Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us t0));
+        Buffer.add_string buf ",\"dur\":";
+        Buffer.add_string buf (Printf.sprintf "%.3f" (Time.to_float_us (Time.diff t1 t0)));
+        Buffer.add_string buf ",\"pid\":0,\"tid\":0,\"args\":{\"fault\":";
+        add_json_string buf label;
+        Buffer.add_string buf "}}")
+      windows);
+  (* Caller-supplied events (e.g. lib/monitor's alert-timeline instants):
+     each element must be one complete JSON trace_event object. *)
+  List.iter
+    (fun frag ->
+      sep ();
+      Buffer.add_string buf frag)
+    extra;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
-let write_chrome_json tel path =
+let write_chrome_json ?extra tel path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_chrome_json tel))
+    (fun () -> output_string oc (to_chrome_json ?extra tel))

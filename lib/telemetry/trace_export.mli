@@ -51,9 +51,19 @@ val component_summary : Telemetry.t -> component_stat array
 
 val component_report : Telemetry.t -> string
 
+(** Latest timestamp observed anywhere in the telemetry (spans, fault
+    marks, samples) — the effective end of the trace. *)
+val last_time : Telemetry.t -> Time.t
+
 (** Chrome [trace_event] JSON (load in [about://tracing] or Perfetto):
     one ["ph":"X"] duration event per component of each complete request
-    (pid = tenant, tid = req_id) plus one instant event per raw span. *)
-val to_chrome_json : Telemetry.t -> string
+    (pid = tenant, tid = req_id), one instant event per raw span, and one
+    ["cat":"fault"] duration event per injected-fault window (pid 0 /
+    tid 0; windows still open at export close at {!last_time}) so fault
+    injections visually align with the latency spikes they caused.
+    [extra] appends caller-rendered trace_event objects (one complete
+    JSON object per element) — lib/monitor uses it for alert-timeline
+    instants. *)
+val to_chrome_json : ?extra:string list -> Telemetry.t -> string
 
-val write_chrome_json : Telemetry.t -> string -> unit
+val write_chrome_json : ?extra:string list -> Telemetry.t -> string -> unit

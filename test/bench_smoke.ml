@@ -19,7 +19,7 @@ open Reflex_telemetry
    metadata so a archived result names the exact simulation it ran. *)
 let world_seed = 0x5EED_0BEAC4L
 
-let point ?(telemetry = false) ?(faults = false) rate =
+let point ?(telemetry = false) ?(faults = false) ?(monitor = false) rate =
   let telemetry = if telemetry then Telemetry.create () else Telemetry.disabled in
   let w = Common.make_reflex ~telemetry ~seed:world_seed () in
   let sim = w.Common.sim in
@@ -31,6 +31,14 @@ let point ?(telemetry = false) ?(faults = false) rate =
       (Reflex_faults.Injector.arm
          (Reflex_faults.Injector.target ~sim ~fabric:w.Common.fabric ~server:w.Common.server ())
          ~plan:[]);
+  (* The monitor leg arms the full alerting pipeline (TSDB daemon tick,
+     budgets, burn/knee/anomaly rules) as a pure observer: no bindings,
+     so it may watch but never mutate, and results must be
+     bit-identical to the unmonitored run. *)
+  if monitor then begin
+    let m = Reflex_monitor.Monitor.create ~server:w.Common.server ~telemetry () in
+    Reflex_monitor.Monitor.start m sim ()
+  end;
   let client = Common.client_of w ~tenant:1 () in
   let until = Time.add (Sim.now sim) (Time.ms 60) in
   let gen =
@@ -65,7 +73,8 @@ let timed reps f =
   (Unix.gettimeofday () -. t0, !r)
 
 let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
-    ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical =
+    ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s
+    ~m_overhead_pct ~m_identical =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
@@ -83,6 +92,12 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" f_on_s;
   Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" f_overhead_pct;
   Printf.fprintf oc "    \"results_identical\": %b\n" f_identical;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"monitor\": {\n";
+  Printf.fprintf oc "    \"off_wall_s\": %.3f,\n" m_off_s;
+  Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" m_on_s;
+  Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" m_overhead_pct;
+  Printf.fprintf oc "    \"results_identical\": %b\n" m_identical;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"points\": [\n";
   List.iteri
@@ -158,9 +173,31 @@ let () =
     f_off_s f_on_s reps (List.length rates) f_overhead_pct;
   if f_identical then print_endline "bench smoke OK: empty-plan injector results == no injector"
   else print_endline "bench smoke FAILED: disarmed fault subsystem perturbed the results";
+  (* Monitor cost when armed as a pure observer: telemetry-on sweep with
+     and without the full alerting pipeline (TSDB windows, budgets, burn
+     rules) ticking on a daemon event.  No remediation bindings, so the
+     simulated numbers must be bit-identical. *)
+  let m_off_s, m_off_rows =
+    timed reps (fun () -> List.map (point ~telemetry:true ~monitor:false) rates)
+  in
+  let m_on_s, m_on_rows =
+    timed reps (fun () -> List.map (point ~telemetry:true ~monitor:true) rates)
+  in
+  let m_identical =
+    List.for_all2
+      (fun (_, k0, p0) (_, k1, p1) -> Float.equal k0 k1 && Float.equal p0 p1)
+      m_off_rows m_on_rows
+  in
+  let m_overhead_pct = if m_off_s > 0.0 then (m_on_s -. m_off_s) /. m_off_s *. 100.0 else 0.0 in
+  Printf.printf
+    "[monitor: unarmed %.2fs / armed %.2fs over %dx%d points -> %+.1f%% wall overhead]\n"
+    m_off_s m_on_s reps (List.length rates) m_overhead_pct;
+  if m_identical then print_endline "bench smoke OK: armed monitor results == no monitor"
+  else print_endline "bench smoke FAILED: the monitor perturbed the simulated results";
   (match json_path with
   | Some p ->
     write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
-      ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical
+      ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s ~m_overhead_pct
+      ~m_identical
   | None -> ());
-  if not (parallel_eq && sim_identical && f_identical) then exit 1
+  if not (parallel_eq && sim_identical && f_identical && m_identical) then exit 1

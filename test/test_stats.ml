@@ -67,6 +67,100 @@ let test_hdr_single_sample () =
     (fun p -> Alcotest.(check int64) (Printf.sprintf "single p%.1f" p) v (Hdr_histogram.percentile h p))
     [ 0.0; 0.1; 50.0; 99.9; 100.0 ]
 
+let hist_of values =
+  let h = Hdr_histogram.create () in
+  List.iter (fun v -> Hdr_histogram.record h (Int64.of_int v)) values;
+  h
+
+let check_hist_equal msg a b =
+  Alcotest.(check int) (msg ^ ": count") (Hdr_histogram.count a) (Hdr_histogram.count b);
+  Alcotest.(check int64) (msg ^ ": min") (Hdr_histogram.min_value a) (Hdr_histogram.min_value b);
+  Alcotest.(check int64) (msg ^ ": max") (Hdr_histogram.max_value a) (Hdr_histogram.max_value b);
+  List.iter
+    (fun p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "%s: p%.0f" msg p)
+        (Hdr_histogram.percentile a p) (Hdr_histogram.percentile b p))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ]
+
+let test_hdr_copy_independent () =
+  let h = hist_of [ 10; 20 ] in
+  let c = Hdr_histogram.copy h in
+  Hdr_histogram.record h 30L;
+  Alcotest.(check int) "copy unchanged" 2 (Hdr_histogram.count c);
+  Alcotest.(check int) "original grew" 3 (Hdr_histogram.count h)
+
+let test_hdr_diff_exact () =
+  let h = hist_of [ 100; 100; 100 ] in
+  let s = Hdr_histogram.copy h in
+  Hdr_histogram.record h 100L;
+  Hdr_histogram.record h 5000L;
+  let d = Hdr_histogram.diff h ~since:s in
+  Alcotest.(check int) "delta count" 2 (Hdr_histogram.count d);
+  Alcotest.(check int) "delta above 100" 1 (Hdr_histogram.count_above d 100L);
+  Alcotest.(check int64) "delta min" 100L (Hdr_histogram.min_value d);
+  (* diff then add-back reconstructs the original exactly *)
+  Hdr_histogram.merge ~dst:s ~src:d;
+  check_hist_equal "diff+merge = id" h s
+
+let test_hdr_diff_negative_raises () =
+  let a = hist_of [ 10 ] and b = hist_of [ 10; 10 ] in
+  Alcotest.check_raises "non-snapshot rejected"
+    (Invalid_argument "Hdr_histogram.diff: since is not an earlier snapshot of this histogram")
+    (fun () -> ignore (Hdr_histogram.diff a ~since:b))
+
+let test_hdr_count_above () =
+  let h = hist_of (List.init 100 (fun i -> i + 1)) in
+  (* values 1..100 are exact (sub-bucket range or single-unit buckets) *)
+  Alcotest.(check int) "above 50" 50 (Hdr_histogram.count_above h 50L);
+  Alcotest.(check int) "negative threshold counts all" 100 (Hdr_histogram.count_above h (-1L));
+  Alcotest.(check int) "above max" 0 (Hdr_histogram.count_above h 100L);
+  (* monotone non-increasing in the threshold *)
+  let prev = ref max_int in
+  List.iter
+    (fun v ->
+      let c = Hdr_histogram.count_above h (Int64.of_int v) in
+      Alcotest.(check bool) (Printf.sprintf "monotone at %d" v) true (c <= !prev);
+      prev := c)
+    [ 0; 10; 25; 50; 75; 99; 1000 ]
+
+let sample_gen = QCheck.(list_of_size Gen.(int_range 0 300) (int_range 1 50_000_000))
+
+let prop_hdr_merge_commutes =
+  QCheck.Test.make ~name:"merge commutes" ~count:50 QCheck.(pair sample_gen sample_gen)
+    (fun (a, b) ->
+      let ab = hist_of a in
+      Hdr_histogram.merge ~dst:ab ~src:(hist_of b);
+      let ba = hist_of b in
+      Hdr_histogram.merge ~dst:ba ~src:(hist_of a);
+      Hdr_histogram.count ab = Hdr_histogram.count ba
+      && Hdr_histogram.min_value ab = Hdr_histogram.min_value ba
+      && Hdr_histogram.max_value ab = Hdr_histogram.max_value ba
+      && List.for_all
+           (fun p -> Hdr_histogram.percentile ab p = Hdr_histogram.percentile ba p)
+           [ 0.0; 50.0; 95.0; 99.0; 100.0 ])
+
+let prop_hdr_diff_add_id =
+  QCheck.Test.make ~name:"diff conserves counts and add-back restores" ~count:50
+    QCheck.(pair sample_gen sample_gen)
+    (fun (a, b) ->
+      let h = hist_of a in
+      let s = Hdr_histogram.copy h in
+      List.iter (fun v -> Hdr_histogram.record h (Int64.of_int v)) b;
+      let d = Hdr_histogram.diff h ~since:s in
+      let conserved =
+        Hdr_histogram.count s + Hdr_histogram.count d = Hdr_histogram.count h
+        && Hdr_histogram.count d = List.length b
+      in
+      Hdr_histogram.merge ~dst:s ~src:d;
+      conserved
+      && Hdr_histogram.count s = Hdr_histogram.count h
+      && Hdr_histogram.min_value s = Hdr_histogram.min_value h
+      && Hdr_histogram.max_value s = Hdr_histogram.max_value h
+      && List.for_all
+           (fun p -> Hdr_histogram.percentile s p = Hdr_histogram.percentile h p)
+           [ 0.0; 50.0; 95.0; 99.0; 100.0 ])
+
 let prop_hdr_vs_reservoir =
   QCheck.Test.make ~name:"hdr percentile within 3% of exact" ~count:50
     QCheck.(list_of_size Gen.(int_range 100 2000) (int_range 1_000 100_000_000))
@@ -224,6 +318,12 @@ let suite =
         Alcotest.test_case "merge and reset" `Quick test_hdr_merge_reset;
         Alcotest.test_case "empty is defined" `Quick test_hdr_empty_defined;
         Alcotest.test_case "single sample exact" `Quick test_hdr_single_sample;
+        Alcotest.test_case "copy is independent" `Quick test_hdr_copy_independent;
+        Alcotest.test_case "diff is the exact delta" `Quick test_hdr_diff_exact;
+        Alcotest.test_case "diff rejects non-snapshots" `Quick test_hdr_diff_negative_raises;
+        Alcotest.test_case "count_above" `Quick test_hdr_count_above;
+        qcheck prop_hdr_merge_commutes;
+        qcheck prop_hdr_diff_add_id;
         qcheck prop_hdr_vs_reservoir;
         qcheck prop_hdr_monotone;
       ] );
