@@ -1,11 +1,13 @@
 # Developer entry points.  `make check` is the CI gate: full build, the
-# whole alcotest suite, the bench smoke (parallel-runner sanity +
+# reflex-lint static-analysis pass (determinism, domain-safety,
+# guard-discipline, hot-path allocations, interface hygiene — zero
+# findings required), the whole alcotest suite, the bench smoke (parallel-runner sanity +
 # telemetry, faults and monitor on/off overhead) with its numbers
 # recorded in BENCH_SMOKE.json for trend tracking, the chaos smoke
 # (scripted fault plan + determinism verification) and the monitor
 # smoke (alerting acceptance + bit-reproducible alert timeline).
 
-.PHONY: all build test bench-smoke chaos-smoke monitor-smoke check trace chaos monitor bench clean
+.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke check trace chaos monitor bench clean
 
 all: build
 
@@ -14,6 +16,12 @@ build:
 
 test: build
 	dune runtest
+
+# Determinism / domain-safety / hot-path-allocation gate: reflex-lint
+# scans lib/, bin/ and bench/ against lint.manifest and fails on any
+# finding.  The JSON report is kept for the CI artifact.
+lint: build
+	dune exec bin/reflex_lint.exe -- --root . --json _build/lint.json
 
 bench-smoke: build
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
@@ -39,6 +47,7 @@ monitor-smoke: build
 	@echo "monitor smoke OK: alerts in fault windows, clean runs silent, timeline byte-identical"
 
 check: build
+	$(MAKE) lint
 	dune runtest
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
 	$(MAKE) chaos-smoke

@@ -218,14 +218,20 @@ let micro_benchmarks () =
   List.iter
     (fun test ->
       let results = benchmark test in
-      Hashtbl.iter
-        (fun name result ->
+      (* Name-sorted rows: bechamel hands back a Hashtbl, and the printed
+         table must not depend on its layout. *)
+      let rows =
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
           match Bechamel.Analyze.OLS.estimates result with
           | Some (t :: _) ->
             micro_results := (name, t) :: !micro_results;
             Printf.printf "%-28s %12.1f\n" name t
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
-        results)
+        rows)
     tests;
   print_newline ()
 

@@ -1,0 +1,40 @@
+(* reflex-lint command line.
+
+     reflex_lint [--root DIR] [--manifest PATH] [--json PATH|-] [PATHS...]
+
+   Scans lib/ bin/ bench/ under --root (default: cwd) unless explicit
+   PATHS are given.  Prints compiler-style findings to stdout; exits 1
+   when there are findings, 0 on a clean tree.  --json writes the
+   machine-readable report (use "-" for stdout). *)
+
+let () =
+  let root = ref (Sys.getcwd ()) in
+  let manifest = ref "" in
+  let json = ref "" in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: cwd)");
+      ( "--manifest",
+        Arg.Set_string manifest,
+        "PATH lint.manifest location (default: ROOT/lint.manifest)" );
+      ("--json", Arg.Set_string json, "PATH write JSON report to PATH ('-' for stdout)");
+    ]
+  in
+  Arg.parse spec
+    (fun p -> paths := p :: !paths)
+    "reflex_lint [--root DIR] [--manifest PATH] [--json PATH|-] [PATHS...]";
+  let manifest_path =
+    if !manifest <> "" then !manifest else Filename.concat !root "lint.manifest"
+  in
+  let paths = match List.rev !paths with [] -> None | ps -> Some ps in
+  let report = Lint_driver.run ?paths ~root:!root ~manifest_path () in
+  print_string (Lint_driver.to_text report);
+  (match !json with
+  | "" -> ()
+  | "-" -> print_string (Lint_driver.to_json report)
+  | path ->
+    let oc = open_out path in
+    output_string oc (Lint_driver.to_json report);
+    close_out oc);
+  exit (if Lint_driver.clean report then 0 else 1)

@@ -51,9 +51,19 @@ let set_capacity_factor t f =
 
 let capacity_factor t = t.capacity_factor
 
+(* Key-sorted iteration over latency-critical tenants: callers' folds
+   see a deterministic order regardless of Hashtbl layout, so list- and
+   report-building folds are reproducible by construction. *)
 let fold_lc t f init =
-  Hashtbl.fold (fun id slo acc -> if Slo.is_latency_critical slo then f id slo acc else acc)
-    t.tenants init
+  let lc =
+    Hashtbl.fold
+      (fun id slo acc -> if Slo.is_latency_critical slo then (id, slo) :: acc else acc)
+      t.tenants []
+  in
+  List.fold_left
+    (fun acc (id, slo) -> f id slo acc)
+    init
+    (List.sort (fun (a, _) (b, _) -> compare (a : int) b) lc)
 
 let min_opt acc v = match acc with None -> Some v | Some x -> Some (Float.min x v)
 
@@ -174,6 +184,7 @@ let current_rates t =
       let rate = if Slo.is_latency_critical slo then weighted t slo else be_share t in
       (id, rate) :: acc)
     t.tenants []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
 
 let registered_count t = Hashtbl.length t.tenants
 let fleet_read_only t = all_read_only_with t None

@@ -191,6 +191,7 @@ let effective_rate t rate = if t.qos then rate else 1e15
 
 let push_be_rates t =
   let share = effective_rate t (Control_plane.be_share t.control_plane) in
+  (* reflex-lint: allow det/hashtbl-order — per-tenant rate pushes are independent writes to disjoint scheduler entries; no output depends on visit order *)
   Hashtbl.iter
     (fun id () ->
       match Hashtbl.find_opt t.tenant_thread id with
@@ -202,6 +203,7 @@ let push_be_rates t =
    BE tenant's share. *)
 let push_rates t =
   push_be_rates t;
+  (* reflex-lint: allow det/hashtbl-order — per-tenant rate pushes are independent writes to disjoint scheduler entries; no output depends on visit order *)
   Hashtbl.iter
     (fun id thread ->
       if not (Hashtbl.mem t.be_tenants id) then
@@ -223,6 +225,7 @@ let refresh_rates t =
 
 let refresh_conn_counts t =
   let counts = Array.make (Array.length t.threads) 0 in
+  (* reflex-lint: allow det/hashtbl-order — commutative += accumulation into per-thread counters; any visit order yields the same counts *)
   Hashtbl.iter
     (fun tenant conns ->
       match Hashtbl.find_opt t.tenant_thread tenant with
@@ -389,6 +392,10 @@ let rebalance t =
         if thread >= t.active || Dataplane.tenant_count t.threads.(thread) > target then
           moves := (tenant, thread) :: !moves)
       t.tenant_thread;
+    (* Placement depends on the order moves are applied (each move
+       re-evaluates the least-loaded thread): sort by tenant id so
+       rebalancing is deterministic regardless of Hashtbl layout. *)
+    let moves = List.sort compare !moves in
     List.iter
       (fun (tenant, thread) ->
         let dest = least_loaded_thread t in
@@ -404,7 +411,7 @@ let rebalance t =
             Hashtbl.replace t.tenant_thread tenant dest
           | None -> ()
         end)
-      !moves;
+      moves;
     refresh_conn_counts t
   end
 

@@ -1,4 +1,9 @@
-type t = { mutable state : int64 }
+(* Zipf sampling precomputes a CDF prefix table; it is cached on the
+   stream itself (not in a global table) so that Prng instances owned by
+   different Runner.map domains never share mutable state. *)
+type zipf_cache = { zn : int; ztheta : float; cdf : float array }
+
+type t = { mutable state : int64; mutable zcache : zipf_cache option }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,14 +12,17 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = seed }
+let create seed = { state = seed; zcache = None }
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
 let split t = create (bits64 t)
-let copy t = { state = t.state }
+
+(* The cache record is immutable once built, so sharing it with the copy
+   is safe; only the per-instance [zcache] slot is mutable. *)
+let copy t = { state = t.state; zcache = t.zcache }
 
 (* 53 high-quality bits -> [0,1) *)
 let float t =
@@ -50,16 +58,14 @@ let pareto t ~alpha ~lo ~hi =
   (-.((u *. ha) -. (u *. la) -. ha) /. (ha *. la)) ** (-1.0 /. alpha)
 
 (* Zipf sampling by inverting the generalized harmonic CDF with binary
-   search over a lazily cached prefix table. *)
-type zipf_cache = { zn : int; ztheta : float; cdf : float array }
-
-let zipf_caches : (int * int, zipf_cache) Hashtbl.t = Hashtbl.create 7
-
+   search over a lazily cached prefix table.  One cache slot per stream:
+   a given workload stream samples one (n, theta) shape, and keeping the
+   slot on [t] (rather than a process-global table) makes concurrent
+   sampling from per-domain streams race-free by construction. *)
 let zipf t ~n ~theta =
   if n <= 0 then invalid_arg "Prng.zipf";
-  let key = (n, int_of_float (theta *. 1_000_000.)) in
   let cache =
-    match Hashtbl.find_opt zipf_caches key with
+    match t.zcache with
     | Some c when c.zn = n && Float.abs (c.ztheta -. theta) < 1e-9 -> c
     | _ ->
       let cdf = Array.make n 0.0 in
@@ -73,7 +79,7 @@ let zipf t ~n ~theta =
         cdf.(i) <- cdf.(i) /. total
       done;
       let c = { zn = n; ztheta = theta; cdf } in
-      Hashtbl.replace zipf_caches key c;
+      t.zcache <- Some c;
       c
   in
   let u = float t in

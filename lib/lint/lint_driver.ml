@@ -1,0 +1,143 @@
+(* Orchestration: discover sources, run the rule families, apply inline
+   waivers then manifest [allow] prefixes, and render the report.
+
+   The linter holds itself to its own determinism bar: directory walks
+   are sorted, findings are sorted, and nothing reads clocks or ambient
+   randomness. *)
+
+type report = {
+  findings : Lint_diagnostic.t list; (* sorted; already waiver/manifest-filtered *)
+  files_scanned : int;
+  waivers_used : int;
+  rules : string list;
+}
+
+let clean r = r.findings = []
+
+(* ---------------- file discovery ---------------- *)
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let rec walk_ml acc path =
+  if is_dir path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name = "_build" then acc
+           else walk_ml acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let discover ~root paths =
+  List.concat_map
+    (fun p ->
+      let abs = if Filename.is_relative p then Filename.concat root p else p in
+      List.rev (walk_ml [] abs))
+    paths
+
+let relativize ~root path =
+  let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+  let n = String.length root in
+  if String.length path > n && String.sub path 0 n = root then
+    String.sub path n (String.length path - n)
+  else path
+
+(* ---------------- one file ---------------- *)
+
+let lint_file ~manifest ~waivers_used ~rel ~abs =
+  let src = Lint_source.load ~rel ~abs in
+  let raw = Lint_rules.check ~manifest src in
+  let has_mli = Sys.file_exists (abs ^ "i") in
+  let iface = Lint_rules.check_iface ~manifest ~rel ~has_mli in
+  (* Inline waivers first (per-site), then manifest allow prefixes
+     (directory policy).  Internal lint/* findings are never waivable. *)
+  let filtered =
+    List.filter
+      (fun (d : Lint_diagnostic.t) ->
+        if Lint_rule_ids.is_internal d.Lint_diagnostic.rule then true
+        else if Lint_waiver.covers src.Lint_source.waivers ~rule:d.Lint_diagnostic.rule ~line:d.Lint_diagnostic.line
+        then begin
+          incr waivers_used;
+          false
+        end
+        else not (Lint_manifest.allowed manifest ~rule:d.Lint_diagnostic.rule ~path:rel))
+      (raw @ iface)
+  in
+  src.Lint_source.parse_diags @ src.Lint_source.waiver_diags @ filtered
+
+(* ---------------- entry points ---------------- *)
+
+let default_paths = [ "lib"; "bin"; "bench" ]
+
+let run ?(paths = default_paths) ~root ~manifest_path () =
+  let manifest, manifest_diags = Lint_manifest.load manifest_path in
+  let files = discover ~root paths in
+  let waivers_used = ref 0 in
+  let findings =
+    List.concat_map
+      (fun abs -> lint_file ~manifest ~waivers_used ~rel:(relativize ~root abs) ~abs)
+      files
+  in
+  {
+    findings = List.sort_uniq Lint_diagnostic.compare (manifest_diags @ findings);
+    files_scanned = List.length files;
+    waivers_used = !waivers_used;
+    rules = Lint_rule_ids.all;
+  }
+
+(* Lint a single file against an already-parsed manifest (fixture tests). *)
+let run_on_source ~manifest (src : Lint_source.t) =
+  let waivers_used = ref 0 in
+  let raw = Lint_rules.check ~manifest src in
+  let filtered =
+    List.filter
+      (fun (d : Lint_diagnostic.t) ->
+        if Lint_rule_ids.is_internal d.Lint_diagnostic.rule then true
+        else if Lint_waiver.covers src.Lint_source.waivers ~rule:d.Lint_diagnostic.rule ~line:d.Lint_diagnostic.line
+        then begin
+          incr waivers_used;
+          false
+        end
+        else not (Lint_manifest.allowed manifest ~rule:d.Lint_diagnostic.rule ~path:src.Lint_source.rel))
+      raw
+  in
+  {
+    findings =
+      List.sort_uniq Lint_diagnostic.compare
+        (src.Lint_source.parse_diags @ src.Lint_source.waiver_diags @ filtered);
+    files_scanned = 1;
+    waivers_used = !waivers_used;
+    rules = Lint_rule_ids.all;
+  }
+
+(* ---------------- rendering ---------------- *)
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Lint_diagnostic.to_string d);
+      Buffer.add_char buf '\n')
+    r.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "reflex-lint: %d file(s), %d rule(s), %d finding(s), %d waiver(s) applied\n"
+       r.files_scanned (List.length r.rules) (List.length r.findings) r.waivers_used);
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" r.files_scanned);
+  Buffer.add_string buf (Printf.sprintf "  \"rule_count\": %d,\n" (List.length r.rules));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rules\": [%s],\n"
+       (String.concat ", " (List.map (fun s -> "\"" ^ Lint_diagnostic.json_escape s ^ "\"") r.rules)));
+  Buffer.add_string buf (Printf.sprintf "  \"waivers_used\": %d,\n" r.waivers_used);
+  Buffer.add_string buf (Printf.sprintf "  \"finding_count\": %d,\n" (List.length r.findings));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"findings\": [%s]\n"
+       (String.concat ", " (List.map Lint_diagnostic.to_json r.findings)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

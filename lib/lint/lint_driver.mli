@@ -1,0 +1,27 @@
+(** Lint orchestration: discovery, rule passes, waiver/manifest
+    filtering, deterministic rendering. *)
+
+type report = {
+  findings : Lint_diagnostic.t list;  (** sorted, waiver/manifest-filtered *)
+  files_scanned : int;
+  waivers_used : int;
+  rules : string list;
+}
+
+val clean : report -> bool
+
+(** Lint every [.ml] under [paths] (default [lib bin bench], resolved
+    against [root]).  The manifest is loaded from [manifest_path]; a
+    missing or malformed manifest yields [lint/manifest] findings. *)
+val run : ?paths:string list -> root:string -> manifest_path:string -> unit -> report
+
+(** Lint one in-memory source against a given manifest (fixture tests).
+    Runs the AST families only — not [iface/mli], which needs the
+    filesystem. *)
+val run_on_source : manifest:Lint_manifest.t -> Lint_source.t -> report
+
+(** Compiler-style text report plus a one-line summary. *)
+val to_text : report -> string
+
+(** Machine-readable report (hand-rolled JSON, stable field order). *)
+val to_json : report -> string

@@ -1,0 +1,22 @@
+(* The closed set of rule identifiers.  Waivers and manifest lines naming
+   anything outside this list are themselves findings — a typo in a
+   waiver must not silently disable nothing. *)
+
+let determinism = [ "det/random"; "det/clock"; "det/marshal"; "det/hashtbl-order" ]
+let domain_safety = [ "dom/toplevel-state" ]
+let guards = [ "guard/telemetry" ]
+let hot_path = [ "hot/alloc" ]
+let interface = [ "iface/mli" ]
+
+(* Internal rule-ids attached to problems with the lint inputs themselves
+   (unparseable source, malformed waiver or manifest line).  They are not
+   waivable and not valid waiver targets. *)
+let internal = [ "lint/parse-error"; "lint/bad-waiver"; "lint/manifest" ]
+
+let all = determinism @ domain_safety @ guards @ hot_path @ interface
+let is_known id = List.mem id all
+let is_internal id = List.mem id internal
+
+(* Construct names accepted by a [hot_path ... allow=...] manifest clause
+   (see Lint_rules.hot-path family for what each one matches). *)
+let alloc_constructs = [ "tuple"; "record"; "closure"; "list"; "array"; "printf"; "string"; "lazy" ]

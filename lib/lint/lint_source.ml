@@ -1,0 +1,48 @@
+(* One loaded source file: raw text, compiler-parsed AST, and inline
+   waivers.  [rel] is the root-relative path used in diagnostics and for
+   manifest matching; [abs] is the on-disk path. *)
+
+type t = {
+  rel : string;
+  text : string;
+  ast : Parsetree.structure option;
+  parse_diags : Lint_diagnostic.t list;
+  waivers : Lint_waiver.t list;
+  waiver_diags : Lint_diagnostic.t list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let parse ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf rel;
+  match Parse.implementation lexbuf with
+  | ast -> (Some ast, [])
+  | exception exn ->
+    let line, col, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        let p = loc.Location.loc_start in
+        ( p.Lexing.pos_lnum,
+          p.Lexing.pos_cnum - p.Lexing.pos_bol,
+          Format.asprintf "%a" Format.pp_print_text "syntax error" )
+      | _ -> (1, 0, Printexc.to_string exn)
+    in
+    (None, [ Lint_diagnostic.make ~file:rel ~line ~col ~rule:"lint/parse-error" msg ])
+
+let load ~rel ~abs =
+  let text = read_file abs in
+  let ast, parse_diags = parse ~rel text in
+  let waivers, waiver_diags = Lint_waiver.scan ~file:rel text in
+  { rel; text; ast; parse_diags; waivers; waiver_diags }
+
+let of_string ~rel text =
+  let ast, parse_diags = parse ~rel text in
+  let waivers, waiver_diags = Lint_waiver.scan ~file:rel text in
+  { rel; text; ast; parse_diags; waivers; waiver_diags }

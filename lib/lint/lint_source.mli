@@ -1,0 +1,15 @@
+(** One loaded source file: text, compiler-parsed AST, inline waivers. *)
+
+type t = {
+  rel : string;  (** root-relative path used in diagnostics *)
+  text : string;
+  ast : Parsetree.structure option;  (** [None] on parse failure *)
+  parse_diags : Lint_diagnostic.t list;  (** [lint/parse-error] findings *)
+  waivers : Lint_waiver.t list;
+  waiver_diags : Lint_diagnostic.t list;  (** [lint/bad-waiver] findings *)
+}
+
+val load : rel:string -> abs:string -> t
+
+(** For tests: lint source given directly as a string. *)
+val of_string : rel:string -> string -> t

@@ -211,6 +211,7 @@ let sync_tenants t =
     (Telemetry.tenants_with_slo t.telemetry)
 
 let update_budgets t w =
+  (* reflex-lint: allow det/hashtbl-order — per-tenant Budget.record calls touch disjoint budgets keyed by tenant id; order-insensitive *)
   Hashtbl.iter
     (fun id budget ->
       let pfx = Printf.sprintf "t%d" id in

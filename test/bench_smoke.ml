@@ -72,9 +72,27 @@ let timed reps f =
   done;
   (Unix.gettimeofday () -. t0, !r)
 
+(* The static-analysis gate rides along with the smoke: reflex-lint is
+   re-run in-process over the live tree so BENCH_SMOKE.json records the
+   rule/waiver/finding counts next to the perf numbers, and CI fails if
+   any finding slipped past `make lint`.  The repo root is found by
+   walking up to lint.manifest, which works both from the repo root
+   (`make check`) and from _build/default/test (the runtest alias, whose
+   rule depends on the source tree). *)
+let rec find_lint_root dir =
+  if Sys.file_exists (Filename.concat dir "lint.manifest") then dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then failwith "lint.manifest not found above cwd"
+    else find_lint_root parent
+
+let run_lint () =
+  let root = find_lint_root (Sys.getcwd ()) in
+  Lint_driver.run ~root ~manifest_path:(Filename.concat root "lint.manifest") ()
+
 let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
     ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s
-    ~m_overhead_pct ~m_identical =
+    ~m_overhead_pct ~m_identical ~(lint : Lint_driver.report) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
@@ -98,6 +116,12 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" m_on_s;
   Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" m_overhead_pct;
   Printf.fprintf oc "    \"results_identical\": %b\n" m_identical;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"lint\": {\n";
+  Printf.fprintf oc "    \"files_scanned\": %d,\n" lint.Lint_driver.files_scanned;
+  Printf.fprintf oc "    \"rule_count\": %d,\n" (List.length lint.Lint_driver.rules);
+  Printf.fprintf oc "    \"waivers_used\": %d,\n" lint.Lint_driver.waivers_used;
+  Printf.fprintf oc "    \"finding_count\": %d\n" (List.length lint.Lint_driver.findings);
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"points\": [\n";
   List.iteri
@@ -194,10 +218,25 @@ let () =
     m_off_s m_on_s reps (List.length rates) m_overhead_pct;
   if m_identical then print_endline "bench smoke OK: armed monitor results == no monitor"
   else print_endline "bench smoke FAILED: the monitor perturbed the simulated results";
+  (* Static-analysis gate: the live tree must lint clean, and the counts
+     land in BENCH_SMOKE.json for trend tracking. *)
+  let lint = run_lint () in
+  let lint_clean = Lint_driver.clean lint in
+  Printf.printf "[lint: %d file(s), %d rule(s), %d finding(s), %d waiver(s)]\n"
+    lint.Lint_driver.files_scanned
+    (List.length lint.Lint_driver.rules)
+    (List.length lint.Lint_driver.findings)
+    lint.Lint_driver.waivers_used;
+  if lint_clean then print_endline "bench smoke OK: reflex-lint reports zero findings"
+  else begin
+    print_endline "bench smoke FAILED: reflex-lint found violations";
+    print_string (Lint_driver.to_text lint)
+  end;
   (match json_path with
   | Some p ->
     write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
       ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s ~m_overhead_pct
-      ~m_identical
+      ~m_identical ~lint
   | None -> ());
-  if not (parallel_eq && sim_identical && f_identical && m_identical) then exit 1
+  if not (parallel_eq && sim_identical && f_identical && m_identical && lint_clean) then
+    exit 1

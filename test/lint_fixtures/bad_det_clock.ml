@@ -1,0 +1,3 @@
+(* Deliberately violates det/clock (line 3). *)
+
+let now_us () = Unix.gettimeofday () *. 1e6

@@ -1,0 +1,4 @@
+(* Deliberately violates det/hashtbl-order (line 4): builds a report
+   list in unspecified table order without sorting. *)
+
+let report tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

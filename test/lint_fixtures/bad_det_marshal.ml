@@ -1,0 +1,3 @@
+(* Deliberately violates det/marshal (line 3). *)
+
+let dump x = Marshal.to_string x []

@@ -1,0 +1,3 @@
+(* Deliberately violates det/random (line 3). *)
+
+let jitter () = Random.float 1.0

@@ -1,0 +1,5 @@
+(* Deliberately violates dom/toplevel-state (line 3). *)
+
+let cache = Hashtbl.create 7
+
+let lookup k = Hashtbl.find_opt cache k

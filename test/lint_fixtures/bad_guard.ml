@@ -1,0 +1,4 @@
+(* Deliberately violates guard/telemetry (line 4): the record call is
+   not under an enabled-guard conditional. *)
+
+let bump c = Telemetry.incr c

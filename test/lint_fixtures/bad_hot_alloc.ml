@@ -1,0 +1,4 @@
+(* Deliberately violates hot/alloc (line 4) when [drain] is listed in
+   the manifest hot_path section: allocates a tuple per call. *)
+
+let drain q = (Queue.pop q, Queue.pop q)

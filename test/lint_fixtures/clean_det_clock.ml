@@ -1,0 +1,3 @@
+(* Clean: time comes from the simulation clock. *)
+
+let now_us sim_now = sim_now *. 1e6

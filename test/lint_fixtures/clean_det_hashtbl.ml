@@ -1,0 +1,4 @@
+(* Clean: key-sorted before anything order-sensitive sees it. *)
+
+let report tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,3 @@
+(* Clean: serialization via a stable hand-rolled codec. *)
+
+let dump x = string_of_int x

@@ -1,0 +1,3 @@
+(* Clean: randomness comes through an injected stream. *)
+
+let jitter prng scale = prng () *. scale

@@ -1,0 +1,5 @@
+(* Clean: state is allocated per instance, not at module toplevel. *)
+
+type t = { cache : (int, int) Hashtbl.t }
+
+let create () = { cache = Hashtbl.create 7 }

@@ -1,0 +1,3 @@
+(* Clean: the effectful record site is behind the enabled bit. *)
+
+let bump ~tel_on c = if tel_on then Telemetry.incr c

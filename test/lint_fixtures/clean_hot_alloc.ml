@@ -1,0 +1,6 @@
+(* Clean under hot/alloc: no allocating constructs in [drain]. *)
+
+let drain q =
+  while not (Queue.is_empty q) do
+    ignore (Queue.pop q)
+  done

@@ -1,0 +1,3 @@
+(* Deliberately violates iface/mli: no matching bad_mod.mli exists. *)
+
+let id x = x

@@ -1,0 +1,3 @@
+(* Clean: good_mod.mli exists alongside. *)
+
+let id x = x

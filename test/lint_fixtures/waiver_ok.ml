@@ -1,0 +1,4 @@
+(* A real violation, locally waived with a written reason. *)
+
+(* reflex-lint: allow det/clock — fixture: demonstrates a justified waiver *)
+let now_us () = Unix.gettimeofday () *. 1e6

@@ -1,0 +1,4 @@
+(* A waiver naming an unknown rule-id must itself be a finding. *)
+
+(* reflex-lint: allow det/nonexistent — typo'd rule id *)
+let x = 1
