@@ -6,7 +6,10 @@
      reflex_sim trace    [--full] [--out FILE] [--audit-window-us US]
      reflex_sim chaos    [--full] [--seed N] [--no-verify] [--audit-window-us US]
      reflex_sim monitor  [--full] [--seed N] [--no-verify]
-                         [--prom-out FILE] [--trace-out FILE]        *)
+                         [--prom-out FILE] [--trace-out FILE]
+
+   run/trace/chaos/monitor all take [--backend heap|wheel] to pick the
+   event-queue backend; the output is byte-identical either way.       *)
 
 open Cmdliner
 open Reflex_experiments
@@ -91,6 +94,26 @@ let export_trace tel path =
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
 
+(* Event-queue backend for every world the command builds.  Selection
+   happens once, before any simulation exists — Sim.create picks up the
+   process default.  Both backends execute events in the identical
+   (time, seq) order, so the choice changes the datapath, never the
+   output bytes. *)
+let backend_arg =
+  let backend_conv =
+    Arg.enum [ ("heap", Reflex_engine.Sim.Heap); ("wheel", Reflex_engine.Sim.Wheel) ]
+  in
+  Arg.(
+    value
+    & opt backend_conv Reflex_engine.Sim.Heap
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "event-queue backend for every simulated world: $(b,heap) (binary min-heap, \
+           the default) or $(b,wheel) (hierarchical timing wheel); results are \
+           byte-identical either way")
+
+let set_backend b = Reflex_engine.Sim.set_default_backend b
+
 (* SLO-audit bucket width, exposed on the commands that print the audit
    (default matches Slo_audit's built-in 10ms). *)
 let audit_window_arg =
@@ -127,7 +150,8 @@ let run_cmd =
              to $(docv); implies $(b,--telemetry) and forces a serial run (jobs=1) so \
              'last world' is well defined")
   in
-  let run id full telemetry trace_out =
+  let run backend id full telemetry trace_out =
+    set_backend backend;
     let telemetry = telemetry || trace_out <> None in
     if telemetry then Common.set_default_telemetry true;
     if trace_out <> None then Runner.set_default_jobs 1;
@@ -154,7 +178,7 @@ let run_cmd =
       | None -> `Error (false, "unknown experiment: " ^ id ^ " (try 'list')")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ id_arg $ full_arg $ telemetry_arg $ trace_out_arg))
+    Term.(ret (const run $ backend_arg $ id_arg $ full_arg $ telemetry_arg $ trace_out_arg))
 
 let trace_cmd =
   let doc =
@@ -169,14 +193,16 @@ let trace_cmd =
       & opt string "reflex_trace.json"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"where to write the Chrome trace JSON")
   in
-  let run full out audit_us =
+  let run backend full out audit_us =
+    set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     let { Tracing.telemetry = tel; rows } = Tracing.run ~mode () in
     Reflex_stats.Table.print (Tracing.to_table rows);
     print_telemetry_reports ~audit_window:(audit_window_of audit_us) tel;
     export_trace tel out
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ full_arg $ out_arg $ audit_window_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ backend_arg $ full_arg $ out_arg $ audit_window_arg)
 
 let chaos_cmd =
   let doc =
@@ -198,7 +224,8 @@ let chaos_cmd =
       & info [ "no-verify" ]
           ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
   in
-  let run full seed no_verify audit_us =
+  let run backend full seed no_verify audit_us =
+    set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     let window = audit_window_of audit_us in
     if no_verify then begin
@@ -215,7 +242,7 @@ let chaos_cmd =
     end
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ full_arg $ seed_arg $ no_verify_arg $ audit_window_arg)
+    Term.(const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ audit_window_arg)
 
 let monitor_cmd =
   let doc =
@@ -256,7 +283,8 @@ let monitor_cmd =
             "write a Chrome trace_event JSON of the faulted leg to $(docv): lifecycle \
              spans, fault windows as duration events, alerts as instant events")
   in
-  let run full seed no_verify prom_out trace_out =
+  let run backend full seed no_verify prom_out trace_out =
+    set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     if not no_verify then print_string (Monitor_exp.debrief ~mode ~seed ());
     if no_verify || prom_out <> None || trace_out <> None then begin
@@ -280,7 +308,9 @@ let monitor_cmd =
     end
   in
   Cmd.v (Cmd.info "monitor" ~doc)
-    Term.(const run $ full_arg $ seed_arg $ no_verify_arg $ prom_out_arg $ trace_out_arg)
+    Term.(
+      const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ prom_out_arg
+      $ trace_out_arg)
 
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in

@@ -1,13 +1,21 @@
 (** Binary min-heap keyed by [(Time.t, sequence)].
 
     The sequence number breaks ties so that events scheduled for the same
-    instant execute in FIFO order — essential for deterministic replay. *)
+    instant execute in FIFO order — essential for deterministic replay.
+
+    The heap stores keys and payloads in parallel arrays
+    (structure-of-arrays), so {!push} allocates nothing in steady state:
+    no per-entry box exists. *)
 
 type 'a t
 
 val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Allocated slot count of the backing key arrays.  Preserved across
+    {!clear} so a reused heap does not re-climb the growth ladder. *)
+val capacity : 'a t -> int
 
 (** [push t ~time ~seq v] inserts [v]. *)
 val push : 'a t -> time:Time.t -> seq:int -> 'a -> unit
@@ -24,6 +32,8 @@ val pop : 'a t -> (Time.t * int * 'a) option
     {!pop}, in a single traversal — the simulator's hot path. *)
 val pop_if_le : 'a t -> until:Time.t -> (Time.t * int * 'a) option
 
-(** Empty the heap, dropping all references to stored values (the backing
-    array is released, so cleared entries can be collected). *)
+(** Empty the heap, dropping all references to stored values (the payload
+    array is released, so cleared entries can be collected).  The numeric
+    key arrays keep their capacity — see {!capacity} — and the payload
+    array is re-made at full capacity on the next {!push}. *)
 val clear : 'a t -> unit

@@ -7,15 +7,35 @@
 
 type t
 
-(** Handle for a scheduled event, usable with {!cancel}. *)
+(** Handle for a scheduled event, usable with {!cancel}.  Immediate
+    (unboxed) value: events live in an internal arena and are recycled
+    when popped; the handle packs the arena slot with a generation
+    counter so stale handles are harmless. *)
 type event_id
+
+(** Event-queue backend.  Both implement the identical (time, then
+    insertion seq) execution order — proven by the equivalence tests —
+    so results are byte-identical across backends at the same seed;
+    only the datapath differs (binary heap vs hierarchical timing
+    wheel). *)
+type backend = Heap | Wheel
 
 (** Root seed used by {!create} when none is given — recorded in the
     bench harness's JSON metadata so archived results name the exact
     simulations they ran. *)
 val default_seed : int64
 
-val create : ?seed:int64 -> unit -> t
+(** [create ?seed ?backend ()] — [backend] defaults to the process-wide
+    selection (see {!set_default_backend}), itself [Heap] initially. *)
+val create : ?seed:int64 -> ?backend:backend -> unit -> t
+
+(** Set the backend used by {!create} when none is passed explicitly.
+    Intended for per-run CLI selection ([--backend]); call before any
+    simulation is created. *)
+val set_default_backend : backend -> unit
+
+(** Backend this simulation runs on. *)
+val backend : t -> backend
 
 (** Current virtual time. *)
 val now : t -> Time.t
@@ -37,15 +57,18 @@ val at_daemon : t -> Time.t -> (unit -> unit) -> event_id
 val after : t -> Time.t -> (unit -> unit) -> event_id
 
 (** Cancel a pending event.  Cancelling an already-fired or already-
-    cancelled event is a no-op.  Cancellation immediately drops the
-    event's action closure (so payloads captured by a cancelled timer —
-    e.g. a retry deadline whose request completed — are collectable
-    before the heap slot is popped); the heap entry itself is skipped
-    lazily when its time comes. *)
+    cancelled event is a no-op (the stale generation in the handle makes
+    this safe even after the arena slot is recycled).  Cancellation
+    immediately drops the event's action closure (so payloads captured
+    by a cancelled timer — e.g. a retry deadline whose request completed
+    — are collectable before the queue entry is popped); the entry
+    itself is skipped lazily when its time comes. *)
 val cancel : t -> event_id -> unit
 
-(** Whether the event has been cancelled (observability for tests). *)
-val cancelled : event_id -> bool
+(** Whether the event is no longer going to run (observability for
+    tests): true for cancelled events and for events that already
+    retired — fired, or popped after cancellation. *)
+val cancelled : t -> event_id -> bool
 
 (** Run until the event queue drains or [until] (inclusive) is reached.
     Returns the number of events executed by this call. *)
@@ -57,8 +80,10 @@ val events_executed : t -> int
 (** Number of events currently pending. *)
 val pending : t -> int
 
-(** Pending events excluding daemons — what actually keeps {!run} going.
-    Use this when polling for outstanding work (daemons never drain). *)
+(** Pending events excluding daemons and cancelled events — what
+    actually keeps {!run} going.  Use this when polling for outstanding
+    work (daemons never drain, and a pile of cancelled retry timers is
+    dead weight, not work). *)
 val live_pending : t -> int
 
 (** Run [f now] every [every] until [until]. *)

@@ -35,8 +35,19 @@ type t = {
   enabled : bool;
   capacity : int;
   sources : (string, source) Hashtbl.t;
-  mutable windows_rev : window list; (* newest first, <= capacity *)
-  mutable n_windows : int;
+  (* Name-sorted source snapshot, rebuilt lazily on registration: [tick]
+     walks these parallel arrays instead of re-sorting the Hashtbl, and
+     the per-kind counts let it allocate each window's arrays at their
+     exact final size. *)
+  mutable src_dirty : bool;
+  mutable src_names : string array;
+  mutable src_srcs : source array;
+  mutable n_vals : int; (* cumulative + gauge *)
+  mutable n_hists : int;
+  mutable n_derived : int;
+  ring : window array; (* circular, [capacity] slots *)
+  mutable ring_head : int; (* index of newest window when ring_len > 0 *)
+  mutable ring_len : int;
   mutable closed_total : int;
   mutable last_tick : Time.t;
   mutable running : bool;
@@ -44,12 +55,22 @@ type t = {
 }
 
 let make ~enabled ~capacity ~interval =
+  let dummy =
+    { w_start = Time.zero; w_stop = Time.zero; w_values = [||]; w_hists = [||] }
+  in
   {
     enabled;
     capacity;
     sources = Hashtbl.create 32;
-    windows_rev = [];
-    n_windows = 0;
+    src_dirty = false;
+    src_names = [||];
+    src_srcs = [||];
+    n_vals = 0;
+    n_hists = 0;
+    n_derived = 0;
+    ring = Array.make capacity dummy;
+    ring_head = 0;
+    ring_len = 0;
     closed_total = 0;
     last_tick = Time.zero;
     running = false;
@@ -72,82 +93,129 @@ let check_free t name =
 let register_cumulative t name f =
   if t.enabled then begin
     check_free t name;
-    Hashtbl.replace t.sources name (Cumulative (f, ref (f ())))
+    Hashtbl.replace t.sources name (Cumulative (f, ref (f ())));
+    t.src_dirty <- true
   end
 
 let register_gauge t name f =
   if t.enabled then begin
     check_free t name;
-    Hashtbl.replace t.sources name (Gauge f)
+    Hashtbl.replace t.sources name (Gauge f);
+    t.src_dirty <- true
   end
 
 let register_hist t name h =
   if t.enabled then begin
     check_free t name;
-    Hashtbl.replace t.sources name (Hist (h, ref (Hdr_histogram.copy h)))
+    Hashtbl.replace t.sources name (Hist (h, ref (Hdr_histogram.copy h)));
+    t.src_dirty <- true
   end
 
 let register_derived t name f =
   if t.enabled then begin
     check_free t name;
-    Hashtbl.replace t.sources name (Derived f)
+    Hashtbl.replace t.sources name (Derived f);
+    t.src_dirty <- true
   end
 
 let has_source t name = Hashtbl.mem t.sources name
 
-let sorted_sources t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sources []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+(* Rebuild the sorted snapshot arrays.  Cold: runs once per registration
+   epoch, not per tick. *)
+let refresh_sources t =
+  let kvs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sources []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let n = List.length kvs in
+  let names = Array.make n "" in
+  let srcs = Array.make n (Gauge (fun () -> 0.0)) in
+  let nv = ref 0 and nh = ref 0 and nd = ref 0 in
+  List.iteri
+    (fun i (k, s) ->
+      names.(i) <- k;
+      srcs.(i) <- s;
+      match s with
+      | Cumulative _ | Gauge _ -> incr nv
+      | Hist _ -> incr nh
+      | Derived _ -> incr nd)
+    kvs;
+  t.src_names <- names;
+  t.src_srcs <- srcs;
+  t.n_vals <- !nv;
+  t.n_hists <- !nh;
+  t.n_derived <- !nd;
+  t.src_dirty <- false
 
 let tick t ~now =
   if t.enabled && Time.(now > t.last_tick) then begin
-    let sources = sorted_sources t in
-    (* Pass 1: base sources (cumulative deltas, gauges, hist deltas). *)
-    let values = ref [] in
-    let hists = ref [] in
-    List.iter
-      (fun (name, s) ->
-        match s with
-        | Cumulative (f, last) ->
-          let v = f () in
-          values := (name, v -. !last) :: !values;
-          last := v
-        | Gauge f -> values := (name, f ()) :: !values
-        | Hist (live, last) ->
-          let snap = Hdr_histogram.copy live in
-          hists := (name, Hdr_histogram.diff snap ~since:!last) :: !hists;
-          last := snap
-        | Derived _ -> ())
-      sources;
-    let base =
-      {
-        w_start = t.last_tick;
-        w_stop = now;
-        w_values = Array.of_list (List.rev !values);
-        w_hists = Array.of_list (List.rev !hists);
-      }
+    if t.src_dirty then refresh_sources t;
+    let n = Array.length t.src_names in
+    (* Pass 1: base sources (cumulative deltas, gauges, hist deltas)
+       filled into exact-size arrays in one name-ordered sweep.  The
+       arrays are owned by the window being closed, so they are fresh
+       per tick by design — what the cache removes is the per-tick
+       Hashtbl fold, sort and list churn. *)
+    let values = Array.make t.n_vals ("", 0.0) in
+    let hists =
+      if t.n_hists = 0 then [||] else Array.make t.n_hists ("", Hdr_histogram.create ())
     in
-    (* Pass 2: derived sources see the freshly-closed base window. *)
-    let derived =
-      List.filter_map
-        (fun (name, s) -> match s with Derived f -> Some (name, f base) | _ -> None)
-        sources
-    in
+    let vi = ref 0 and hi = ref 0 in
+    for i = 0 to n - 1 do
+      let name = t.src_names.(i) in
+      match t.src_srcs.(i) with
+      | Cumulative (f, last) ->
+        let v = f () in
+        values.(!vi) <- (name, v -. !last);
+        incr vi;
+        last := v
+      | Gauge f ->
+        values.(!vi) <- (name, f ());
+        incr vi
+      | Hist (live, last) ->
+        let snap = Hdr_histogram.copy live in
+        hists.(!hi) <- (name, Hdr_histogram.diff snap ~since:!last);
+        incr hi;
+        last := snap
+      | Derived _ -> ()
+    done;
+    let base = { w_start = t.last_tick; w_stop = now; w_values = values; w_hists = hists } in
+    (* Pass 2: derived sources see the freshly-closed base window; the
+       final window merges the two already-sorted runs. *)
     let w =
-      if derived = [] then base
+      if t.n_derived = 0 then base
       else begin
-        let all = Array.append base.w_values (Array.of_list derived) in
-        Array.sort (fun (a, _) (b, _) -> compare a b) all;
+        let d = Array.make t.n_derived ("", 0.0) in
+        let di = ref 0 in
+        for i = 0 to n - 1 do
+          match t.src_srcs.(i) with
+          | Derived f ->
+            d.(!di) <- (t.src_names.(i), f base);
+            incr di
+          | _ -> ()
+        done;
+        let all = Array.make (t.n_vals + t.n_derived) ("", 0.0) in
+        let a = ref 0 and b = ref 0 in
+        for k = 0 to Array.length all - 1 do
+          let take_base =
+            !b >= t.n_derived || (!a < t.n_vals && fst values.(!a) <= fst d.(!b))
+          in
+          if take_base then begin
+            all.(k) <- values.(!a);
+            incr a
+          end
+          else begin
+            all.(k) <- d.(!b);
+            incr b
+          end
+        done;
         { base with w_values = all }
       end
     in
-    t.windows_rev <- w :: t.windows_rev;
-    t.n_windows <- t.n_windows + 1;
+    t.ring_head <- (t.ring_head + 1) mod t.capacity;
+    t.ring.(t.ring_head) <- w;
+    if t.ring_len < t.capacity then t.ring_len <- t.ring_len + 1;
     t.closed_total <- t.closed_total + 1;
-    if t.n_windows > t.capacity then begin
-      t.windows_rev <- List.filteri (fun i _ -> i < t.capacity) t.windows_rev;
-      t.n_windows <- t.capacity
-    end;
     t.last_tick <- now
   end
 
@@ -157,18 +225,20 @@ let start t sim () =
     Sim.every_daemon sim ~every:t.interval (fun now -> tick t ~now)
   end
 
-let windows t = List.rev t.windows_rev
-let window_count t = t.n_windows
+let window_count t = t.ring_len
 let windows_closed t = t.closed_total
-let last t = match t.windows_rev with [] -> None | w :: _ -> Some w
+let last t = if t.ring_len = 0 then None else Some t.ring.(t.ring_head)
 
 (* Newest [k] windows, oldest first. *)
 let last_n t k =
-  let rec take acc n = function
-    | w :: rest when n > 0 -> take (w :: acc) (n - 1) rest
-    | _ -> acc
+  let k = if k < 0 then 0 else if k > t.ring_len then t.ring_len else k in
+  let rec build acc i =
+    if i >= k then acc
+    else build (t.ring.((t.ring_head - i + t.capacity) mod t.capacity) :: acc) (i + 1)
   in
-  take [] k t.windows_rev
+  build [] 0
+
+let windows t = last_n t t.ring_len
 
 let assoc_of name arr =
   let n = Array.length arr in
@@ -205,7 +275,7 @@ let report ?(limit = 8) t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "== tsdb (%d windows closed, %d retained, %.1fms interval) ==\n"
-       t.closed_total t.n_windows (Time.to_float_ms t.interval));
+       t.closed_total t.ring_len (Time.to_float_ms t.interval));
   let ws = last_n t limit in
   List.iter
     (fun w ->

@@ -19,15 +19,23 @@ let n_cells = (max_exponent - sub_bits + 1) * sub_count
 let create () =
   { counts = Array.make n_cells 0; total = 0; sum = 0.0; min_v = Int64.max_int; max_v = 0L }
 
-(* Index of the bucket containing [v]. *)
+(* Index of the bucket containing [v].  The bucket math runs on a native
+   int: every int64 shift in the former msb loop allocated a boxed
+   intermediate, and this sits on the per-request latency-record path.
+   [Int64.to_int] is exact for v < 2^62; larger values (which the old
+   int64 loop indexed out of bounds) clamp to the top bucket. *)
 let index_of v =
-  if Int64.compare v (Int64.of_int sub_count) < 0 then Int64.to_int v
+  let vi =
+    (* 0x3FFF_FFFF_FFFF_FFFFL = max_int on 64-bit *)
+    if Int64.compare v 0x3FFF_FFFF_FFFF_FFFFL >= 0 then max_int else Int64.to_int v
+  in
+  if vi < sub_count then vi
   else begin
     (* exponent = position of the highest set bit *)
-    let rec msb acc x = if Int64.compare x 1L <= 0 then acc else msb (acc + 1) (Int64.shift_right_logical x 1) in
-    let e = msb 0 v in
+    let rec msb acc x = if x <= 1 then acc else msb (acc + 1) (x lsr 1) in
+    let e = msb 0 vi in
     let shift = e - sub_bits in
-    let sub = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) (Int64.of_int (sub_count - 1))) in
+    let sub = (vi lsr shift) land (sub_count - 1) in
     (((e - sub_bits) + 1) * sub_count) + sub
   end
 

@@ -232,11 +232,28 @@ type t = {
   spans : Span_ring.t;
   decisions : Decision_ring.t;
   metrics : (string, metric) Hashtbl.t;
-  mutable samples_rev : sample list;
+  (* Sampler datapath: a name-sorted snapshot of the registry plus a
+     preallocated (tick x metric) value matrix.  A sampler tick writes
+     one float per metric into the matrix — no per-tick array, tuples or
+     sort.  When the registry changes between ticks ([reg_dirty]), rows
+     recorded so far are materialized into [frozen_rev] under the old
+     layout and the matrix restarts with the new stride.  [sample]
+     records are only built on demand (see [samples]). *)
+  mutable reg_dirty : bool;
+  mutable reg_names : string array; (* sorted metric names *)
+  mutable reg_metrics : metric array; (* parallel to reg_names *)
+  mutable samp_times : Time.t array; (* one per retained tick *)
+  mutable samp_vals : float array; (* samp_len x stride, row-major *)
+  mutable samp_len : int;
+  mutable frozen_rev : sample list; (* ticks from earlier registry layouts *)
   mutable sample_count : int;
   mutable sampler_running : bool;
   tenant_slos : (int, slo_target) Hashtbl.t;
-  tenant_lat : (int, Hdr_histogram.t) Hashtbl.t;
+  (* Per-tenant latency histograms, indexed by tenant id; [dummy_hist]
+     marks unset slots.  The per-request record path is a bounds check
+     and an array load — the former Hashtbl lookup allocated an option
+     per request. *)
+  mutable tlat : Hdr_histogram.t array;
   mutable faults_rev : fault_event list; (* injected-fault marks, newest first *)
 }
 
@@ -251,11 +268,17 @@ let make ~enabled ~span_capacity ~decision_capacity =
     spans = Span_ring.create span_capacity;
     decisions = Decision_ring.create decision_capacity;
     metrics = Hashtbl.create 64;
-    samples_rev = [];
+    reg_dirty = false;
+    reg_names = [||];
+    reg_metrics = [||];
+    samp_times = [||];
+    samp_vals = [||];
+    samp_len = 0;
+    frozen_rev = [];
     sample_count = 0;
     sampler_running = false;
     tenant_slos = Hashtbl.create 16;
-    tenant_lat = Hashtbl.create 16;
+    tlat = [||];
     faults_rev = [];
   }
 
@@ -305,14 +328,24 @@ let counter t name =
     | None ->
       let c = { value = 0.0 } in
       Hashtbl.replace t.metrics name (Counter c);
+      t.reg_dirty <- true;
       c
 
 let add c x = c.value <- c.value +. x
 let incr c = add c 1.0
 let counter_value c = c.value
 
-let register_gauge t name f = if t.enabled then Hashtbl.replace t.metrics name (Gauge f)
-let unregister t name = if t.enabled then Hashtbl.remove t.metrics name
+let register_gauge t name f =
+  if t.enabled then begin
+    Hashtbl.replace t.metrics name (Gauge f);
+    t.reg_dirty <- true
+  end
+
+let unregister t name =
+  if t.enabled && Hashtbl.mem t.metrics name then begin
+    Hashtbl.remove t.metrics name;
+    t.reg_dirty <- true
+  end
 
 let histogram t name =
   if not t.enabled then dummy_hist
@@ -323,6 +356,7 @@ let histogram t name =
     | None ->
       let h = Hdr_histogram.create () in
       Hashtbl.replace t.metrics name (Hist h);
+      t.reg_dirty <- true;
       h
 
 let metric_value = function
@@ -358,15 +392,33 @@ let tenant_slo t ~tenant =
 let tenants_with_slo t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_slos [])
 
-let tenant_latency_hist t ~tenant =
+(* Cold path: grow the tenant-histogram array to cover [tenant],
+   filling fresh slots with the [dummy_hist] sentinel. *)
+let grow_tlat t tenant =
+  let cap = Array.length t.tlat in
+  let ncap = ref (if cap = 0 then 16 else cap * 2) in
+  while !ncap <= tenant do
+    ncap := !ncap * 2
+  done;
+  let arr = Array.make !ncap dummy_hist in
+  Array.blit t.tlat 0 arr 0 cap;
+  t.tlat <- arr
+
+let rec tenant_latency_hist t ~tenant =
   if not t.enabled then dummy_hist
-  else
-    match Hashtbl.find_opt t.tenant_lat tenant with
-    | Some h -> h
-    | None ->
+  else if tenant < Array.length t.tlat then begin
+    let h = t.tlat.(tenant) in
+    if h != dummy_hist then h
+    else begin
       let h = Hdr_histogram.create () in
-      Hashtbl.replace t.tenant_lat tenant h;
+      t.tlat.(tenant) <- h;
       h
+    end
+  end
+  else begin
+    grow_tlat t tenant;
+    tenant_latency_hist t ~tenant
+  end
 
 let record_tenant_latency t ~tenant lat =
   if t.enabled then Hdr_histogram.record (tenant_latency_hist t ~tenant) lat
@@ -425,19 +477,51 @@ let faults_report t =
 
 (* ---------------- sampling ---------------- *)
 
+(* Build the [sample] record for matrix row [k] under the current
+   registry layout.  Report-time only. *)
+let row_sample t k =
+  let stride = Array.length t.reg_names in
+  {
+    s_time = t.samp_times.(k);
+    s_values = Array.init stride (fun i -> (t.reg_names.(i), t.samp_vals.((k * stride) + i)));
+  }
+
+(* Cold path: the registry changed since the last tick.  Materialize the
+   rows recorded so far under the old layout, then rebuild the sorted
+   name/metric snapshot and restart the matrix with the new stride. *)
+let refresh_registry t =
+  for k = 0 to t.samp_len - 1 do
+    t.frozen_rev <- row_sample t k :: t.frozen_rev
+  done;
+  t.samp_len <- 0;
+  t.reg_names <- Array.of_list (metric_names t);
+  t.reg_metrics <- Array.map (fun name -> Hashtbl.find t.metrics name) t.reg_names;
+  t.samp_vals <- Array.make (Array.length t.samp_times * Array.length t.reg_names) 0.0;
+  t.reg_dirty <- false
+
+(* Cold path: double the matrix (tick capacity). *)
+let grow_samples t =
+  let cap = Array.length t.samp_times in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  let stride = Array.length t.reg_names in
+  let nt = Array.make ncap Time.zero in
+  Array.blit t.samp_times 0 nt 0 t.samp_len;
+  t.samp_times <- nt;
+  let nv = Array.make (ncap * stride) 0.0 in
+  Array.blit t.samp_vals 0 nv 0 (t.samp_len * stride);
+  t.samp_vals <- nv
+
 let sample t ~now =
   if t.enabled then begin
-    let n = Hashtbl.length t.metrics in
-    let arr = Array.make n ("", 0.0) in
-    let i = ref 0 in
-    Hashtbl.iter
-      (fun name m ->
-        arr.(!i) <- (name, metric_value m);
-        Stdlib.incr i)
-      t.metrics;
-    (* Hashtbl order is unspecified: sort for deterministic output. *)
-    Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-    t.samples_rev <- { s_time = now; s_values = arr } :: t.samples_rev;
+    if t.reg_dirty then refresh_registry t;
+    if t.samp_len = Array.length t.samp_times then grow_samples t;
+    let stride = Array.length t.reg_names in
+    t.samp_times.(t.samp_len) <- now;
+    let base = t.samp_len * stride in
+    for i = 0 to stride - 1 do
+      t.samp_vals.(base + i) <- metric_value t.reg_metrics.(i)
+    done;
+    t.samp_len <- t.samp_len + 1;
     t.sample_count <- t.sample_count + 1
   end
 
@@ -447,7 +531,10 @@ let start_sampler t sim ?(interval = Time.ms 1) () =
     Sim.every_daemon sim ~every:interval (fun now -> sample t ~now)
   end
 
-let samples t = List.rev t.samples_rev
+let samples t =
+  let tail = List.init t.samp_len (fun k -> row_sample t k) in
+  List.rev_append t.frozen_rev tail
+
 let sample_count t = t.sample_count
 
 (* ---------------- reports ---------------- *)

@@ -90,9 +90,80 @@ let run_lint () =
   let root = find_lint_root (Sys.getcwd ()) in
   Lint_driver.run ~root ~manifest_path:(Filename.concat root "lint.manifest") ()
 
+(* ---------------- Event-core speed gate ---------------- *)
+
+(* The same event-churn workload as `bench/main.exe --only speed`, sized
+   down: self-rescheduling chains with prng strides and a cancelled
+   decoy every fourth hop.  Run on both queue backends; they must retire
+   the identical stream, and events/sec is gated against the checked-in
+   BENCH_BASELINE.json floor. *)
+let speed_run backend =
+  let chains = 64 and hops = 1000 in
+  let sim = Sim.create ~backend () in
+  for c = 0 to chains - 1 do
+    let prng = Prng.create (Int64.of_int ((c * 7919) + 17)) in
+    let remaining = ref hops in
+    let decoy = ref None in
+    let rec hop () =
+      (match !decoy with
+      | Some id ->
+        Sim.cancel sim id;
+        decoy := None
+      | None -> ());
+      if !remaining > 0 then begin
+        decr remaining;
+        let stride = 1 + Prng.int prng 65536 in
+        ignore (Sim.after sim (Time.ns stride) hop);
+        if !remaining land 3 = 0 then
+          decoy := Some (Sim.after sim (Time.us 500) (fun () -> decoy := None))
+      end
+    in
+    ignore (Sim.at sim (Time.ns (c + 1)) hop)
+  done;
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let n = Sim.run sim in
+  let wall = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let eps = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+  let mwpe = if n > 0 then mw /. float_of_int n else 0.0 in
+  (n, Sim.now sim, eps, mwpe)
+
+(* Pull "<name>_events_per_sec": <float> out of BENCH_BASELINE.json with
+   a plain substring scan — the file is ours, flat, and checked in, so a
+   JSON parser dependency would be overkill. *)
+let baseline_events_per_sec root name =
+  let path = Filename.concat root "BENCH_BASELINE.json" in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let key = "\"" ^ name ^ "_events_per_sec\":" in
+    let n = String.length s and m = String.length key in
+    let rec find i =
+      if i + m > n then None else if String.sub s i m = key then Some (i + m) else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+      let b = Buffer.create 16 in
+      let j = ref i in
+      while
+        !j < n
+        && (match s.[!j] with '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true | _ -> false)
+      do
+        if s.[!j] <> ' ' then Buffer.add_char b s.[!j];
+        incr j
+      done;
+      float_of_string_opt (Buffer.contents b)
+  end
+
 let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
     ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s
-    ~m_overhead_pct ~m_identical ~(lint : Lint_driver.report) =
+    ~m_overhead_pct ~m_identical ~s_events ~h_eps ~h_mwpe ~w_eps ~w_mwpe ~s_identical
+    ~backend_sweep_eq ~(lint : Lint_driver.report) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
@@ -116,6 +187,15 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"on_wall_s\": %.3f,\n" m_on_s;
   Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" m_overhead_pct;
   Printf.fprintf oc "    \"results_identical\": %b\n" m_identical;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"speed\": {\n";
+  Printf.fprintf oc "    \"events\": %d,\n" s_events;
+  Printf.fprintf oc "    \"heap_events_per_sec\": %.0f,\n" h_eps;
+  Printf.fprintf oc "    \"heap_minor_words_per_event\": %.3f,\n" h_mwpe;
+  Printf.fprintf oc "    \"wheel_events_per_sec\": %.0f,\n" w_eps;
+  Printf.fprintf oc "    \"wheel_minor_words_per_event\": %.3f,\n" w_mwpe;
+  Printf.fprintf oc "    \"backends_identical\": %b,\n" s_identical;
+  Printf.fprintf oc "    \"sweep_digest_identical\": %b\n" backend_sweep_eq;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"lint\": {\n";
   Printf.fprintf oc "    \"files_scanned\": %d,\n" lint.Lint_driver.files_scanned;
@@ -218,6 +298,38 @@ let () =
     m_off_s m_on_s reps (List.length rates) m_overhead_pct;
   if m_identical then print_endline "bench smoke OK: armed monitor results == no monitor"
   else print_endline "bench smoke FAILED: the monitor perturbed the simulated results";
+  (* Event-core speed gate: both backends retire the identical event
+     stream, the full sweep renders byte-identically on the wheel, and
+     events/sec stays within 20% of the checked-in baseline floor. *)
+  let h_n, h_now, h_eps, h_mwpe = speed_run Sim.Heap in
+  let w_n, w_now, w_eps, w_mwpe = speed_run Sim.Wheel in
+  let s_identical = h_n = w_n && h_now = w_now in
+  Printf.printf
+    "[speed: heap %.0f events/s (%.2f mw/ev), wheel %.0f events/s (%.2f mw/ev), %d events]\n"
+    h_eps h_mwpe w_eps w_mwpe h_n;
+  if s_identical then print_endline "bench smoke OK: heap and wheel retire identical streams"
+  else print_endline "bench smoke FAILED: heap and wheel event streams diverged";
+  Sim.set_default_backend Sim.Wheel;
+  let wheel_serial = table (Runner.map ~jobs:1 point rates) in
+  Sim.set_default_backend Sim.Heap;
+  let backend_sweep_eq = String.equal serial wheel_serial in
+  if backend_sweep_eq then
+    print_endline "bench smoke OK: wheel-backend sweep table == heap-backend table"
+  else print_endline "bench smoke FAILED: sweep tables differ across backends";
+  let root = find_lint_root (Sys.getcwd ()) in
+  let gate name eps =
+    match baseline_events_per_sec root name with
+    | Some b when b > 0.0 ->
+      let ratio = eps /. b in
+      Printf.printf "[speed %s: %.2fx the BENCH_BASELINE.json floor]\n" name ratio;
+      ratio >= 0.8
+    | _ ->
+      Printf.printf "[speed %s: no baseline floor found, gate skipped]\n" name;
+      true
+  in
+  let speed_ok = gate "heap" h_eps && gate "wheel" w_eps in
+  if speed_ok then print_endline "bench smoke OK: events/sec within 20% of baseline"
+  else print_endline "bench smoke FAILED: events/sec regressed >20% vs BENCH_BASELINE.json";
   (* Static-analysis gate: the live tree must lint clean, and the counts
      land in BENCH_SMOKE.json for trend tracking. *)
   let lint = run_lint () in
@@ -236,7 +348,11 @@ let () =
   | Some p ->
     write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
       ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s ~m_overhead_pct
-      ~m_identical ~lint
+      ~m_identical ~s_events:h_n ~h_eps ~h_mwpe ~w_eps ~w_mwpe ~s_identical ~backend_sweep_eq
+      ~lint
   | None -> ());
-  if not (parallel_eq && sim_identical && f_identical && m_identical && lint_clean) then
-    exit 1
+  if
+    not
+      (parallel_eq && sim_identical && f_identical && m_identical && s_identical
+     && backend_sweep_eq && speed_ok && lint_clean)
+  then exit 1

@@ -232,6 +232,171 @@ let test_heap_pop_blanks_slots () =
     (Printf.sprintf "%d live after drain (at most 1)" !live)
     true (!live <= 1)
 
+let test_heap_clear_keeps_capacity () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h ~time:(Int64.of_int i) ~seq:i i
+  done;
+  let cap = Heap.capacity h in
+  Alcotest.(check bool) "grown beyond seed" true (cap >= 100);
+  Heap.clear h;
+  Alcotest.(check int) "capacity preserved by clear" cap (Heap.capacity h);
+  Alcotest.(check int) "empty after clear" 0 (Heap.length h);
+  for i = 0 to 99 do
+    Heap.push h ~time:(Int64.of_int i) ~seq:i i
+  done;
+  Alcotest.(check int) "no re-growth on refill" cap (Heap.capacity h)
+
+(* ------------------------------------------------------------------ *)
+(* Wheel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_ordering () =
+  let w = Wheel.create () in
+  Wheel.push w ~time:30L ~seq:0 3;
+  Wheel.push w ~time:10L ~seq:1 1;
+  Wheel.push w ~time:20L ~seq:2 2;
+  let pop () =
+    match Wheel.pop w with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check int) "first" 1 (pop ());
+  Alcotest.(check int) "second" 2 (pop ());
+  Alcotest.(check int) "third" 3 (pop ());
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  for i = 0 to 9 do
+    Wheel.push w ~time:5L ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Wheel.pop w with
+    | Some (_, _, v) -> Alcotest.(check int) "FIFO at equal time" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_wheel_pop_if_le_horizon () =
+  let w = Wheel.create () in
+  Wheel.push w ~time:10L ~seq:0 1;
+  Wheel.push w ~time:20L ~seq:1 2;
+  Alcotest.(check bool) "min beyond horizon" true (Wheel.pop_if_le w ~until:5L = None);
+  Alcotest.(check int) "nothing popped" 2 (Wheel.length w);
+  (match Wheel.pop_if_le w ~until:10L with
+  | Some (10L, _, 1) -> ()
+  | _ -> Alcotest.fail "expected (10, 1) at an inclusive horizon");
+  (match Wheel.pop_if_le w ~until:Time.infinity with
+  | Some (20L, _, 2) -> ()
+  | _ -> Alcotest.fail "expected (20, 2)");
+  Alcotest.(check bool) "empty wheel" true (Wheel.pop_if_le w ~until:Time.infinity = None)
+
+let test_wheel_cross_level_and_overflow () =
+  (* One event per wheel level, one beyond the ~73 min in-wheel horizon
+     (overflow pull path) and one at Time.infinity (direct overflow pop
+     path). *)
+  let w = Wheel.create () in
+  let times =
+    [ Time.ns 500; Time.us 300; Time.ms 100; Time.sec 60; Time.sec 7200; Time.infinity ]
+  in
+  List.iteri (fun i t -> Wheel.push w ~time:t ~seq:i i) times;
+  let popped = ref [] in
+  let rec drain () =
+    match Wheel.pop w with
+    | Some (t, _, v) ->
+      popped := (t, v) :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int64 int)))
+    "cross-level pops in time order"
+    (List.mapi (fun i t -> (t, i)) times)
+    (List.rev !popped)
+
+let test_wheel_push_below_cursor () =
+  (* Popping advances the cursor past drained slots; a later push below
+     the cursor (but at/after the sim clock) must still pop in order. *)
+  let w = Wheel.create () in
+  Wheel.push w ~time:(Time.us 10) ~seq:0 0;
+  Wheel.push w ~time:(Time.us 40) ~seq:1 1;
+  (match Wheel.pop w with
+  | Some (t, _, 0) -> Alcotest.(check int64) "first pop" (Time.us 10) t
+  | _ -> Alcotest.fail "expected first event");
+  Wheel.push w ~time:(Time.us 20) ~seq:2 2;
+  Wheel.push w ~time:(Time.us 15) ~seq:3 3;
+  let order = ref [] in
+  let rec drain () =
+    match Wheel.pop w with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "below-cursor pushes ordered" [ 3; 2; 1 ] (List.rev !order)
+
+let test_wheel_clear_reuse () =
+  let w = Wheel.create () in
+  for i = 0 to 99 do
+    Wheel.push w ~time:(Int64.of_int ((i * 7919) land 0xFFFFF)) ~seq:i i
+  done;
+  ignore (Wheel.pop w);
+  Wheel.clear w;
+  Alcotest.(check int) "empty after clear" 0 (Wheel.length w);
+  Wheel.push w ~time:5L ~seq:0 42;
+  (match Wheel.pop w with
+  | Some (5L, 0, 42) -> ()
+  | _ -> Alcotest.fail "wheel unusable after clear");
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+(* Heap/wheel equivalence: random interleavings of pushes (times spread
+   across every wheel level plus the overflow regimes) and pops must
+   yield identical (time, seq, value) sequences on both backends. *)
+type qop = QPush of int | QPopLe of int | QPop
+
+let qop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun (e, m) -> QPush (m lsl e)) (pair (int_range 0 45) (int_range 0 4095)));
+        (1, return (QPush max_int));
+        (2, map (fun (e, m) -> QPopLe (m lsl e)) (pair (int_range 0 45) (int_range 0 4095)));
+        (2, return QPop);
+      ])
+
+let qop_print = function
+  | QPush t -> Printf.sprintf "push %d" t
+  | QPopLe u -> Printf.sprintf "pop_if_le %d" u
+  | QPop -> "pop"
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops identical (time, seq) sequence to heap" ~count:300
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map qop_print ops))
+       QCheck.Gen.(list_size (int_range 1 200) qop_gen))
+    (fun ops ->
+      let h = Heap.create () and w = Wheel.create () in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | QPush ti ->
+            let time = Int64.of_int ti in
+            Heap.push h ~time ~seq:!seq !seq;
+            Wheel.push w ~time ~seq:!seq !seq;
+            incr seq
+          | QPopLe u ->
+            let until = Int64.of_int u in
+            if Heap.pop_if_le h ~until <> Wheel.pop_if_le w ~until then ok := false
+          | QPop -> if Heap.pop h <> Wheel.pop w then ok := false)
+        ops;
+      let rec drain () =
+        let a = Heap.pop h and b = Wheel.pop w in
+        if a <> b then ok := false else if a <> None then drain ()
+      in
+      drain ();
+      !ok && Heap.length h = 0 && Wheel.length w = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -272,7 +437,7 @@ let test_sim_cancel_releases_closure () =
   Gc.full_major ();
   Alcotest.(check bool) "cancel released the closure payload" false (Weak.check weak 0);
   ignore (Sim.run sim);
-  Alcotest.(check bool) "marked cancelled" true (Sim.cancelled ev)
+  Alcotest.(check bool) "marked cancelled" true (Sim.cancelled sim ev)
 
 let test_sim_cancel_after_fire_noop () =
   let sim = Sim.create () in
@@ -357,6 +522,75 @@ let test_sim_every_overflow_guard () =
   Sim.every sim ~every:Time.infinity ~until:Time.infinity (fun _ -> incr ticks);
   ignore (Sim.run sim);
   Alcotest.(check int) "one tick, then the wrap guard stops the chain" 1 !ticks
+
+let test_sim_live_pending_excludes_cancelled () =
+  let sim = Sim.create () in
+  let evs = List.init 5 (fun i -> Sim.at sim (Time.us (i + 1)) (fun () -> ())) in
+  List.iteri (fun i ev -> if i < 3 then Sim.cancel sim ev) evs;
+  Alcotest.(check int) "pending still counts cancelled entries" 5 (Sim.pending sim);
+  Alcotest.(check int) "live_pending excludes cancelled" 2 (Sim.live_pending sim);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "drained" 0 (Sim.live_pending sim);
+  Alcotest.(check int) "only the live two fired" 2 (Sim.events_executed sim)
+
+let test_sim_backend_selection () =
+  Alcotest.(check bool) "default is heap" true (Sim.backend (Sim.create ()) = Sim.Heap);
+  let explicit = Sim.create ~backend:Sim.Wheel () in
+  Alcotest.(check bool) "explicit wheel" true (Sim.backend explicit = Sim.Wheel);
+  Sim.set_default_backend Sim.Wheel;
+  let implicit = Sim.create () in
+  Sim.set_default_backend Sim.Heap;
+  Alcotest.(check bool) "default follows selection" true (Sim.backend implicit = Sim.Wheel)
+
+let test_sim_wheel_backend_runs () =
+  let sim = Sim.create ~backend:Sim.Wheel () in
+  let log = ref [] in
+  ignore (Sim.at sim (Time.us 30) (fun () -> log := 3 :: !log));
+  ignore (Sim.at sim (Time.us 10) (fun () -> log := 1 :: !log));
+  ignore (Sim.at sim (Time.us 20) (fun () -> log := 2 :: !log));
+  (* A periodic daemon must not keep the wheel-backed loop alive. *)
+  Sim.every_daemon sim ~every:(Time.us 7) (fun _ -> ());
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "events in time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int64) "clock at last event" (Time.us 30) (Sim.now sim)
+
+(* Full Sim-level backend equivalence: identical schedule / nested
+   schedule / cancel plans must execute the same events at the same
+   times in the same order on both backends. *)
+let prop_sim_backends_equivalent =
+  QCheck.Test.make ~name:"Sim trace identical on heap and wheel backends" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_range 0 2_000_000) (int_range 0 9)))
+    (fun plan ->
+      let trace backend =
+        let sim = Sim.create ~backend () in
+        let log = Buffer.create 256 in
+        let evs = ref [] in
+        List.iteri
+          (fun i (t, k) ->
+            if k < 7 then begin
+              let ev =
+                Sim.at sim (Int64.of_int t) (fun () ->
+                    Buffer.add_string log (Printf.sprintf "%d@%Ld;" i (Sim.now sim));
+                    if k mod 3 = 0 then
+                      ignore
+                        (Sim.after sim
+                           (Int64.of_int ((i * 17) + 1))
+                           (fun () ->
+                             Buffer.add_string log
+                               (Printf.sprintf "n%d@%Ld;" i (Sim.now sim)))))
+              in
+              evs := ev :: !evs
+            end
+            else begin
+              match !evs with
+              | [] -> ()
+              | l -> Sim.cancel sim (List.nth l (t mod List.length l))
+            end)
+          plan;
+        ignore (Sim.run sim);
+        (Buffer.contents log, Sim.events_executed sim, Sim.now sim)
+      in
+      trace Sim.Heap = trace Sim.Wheel)
 
 (* ------------------------------------------------------------------ *)
 (* Resource                                                           *)
@@ -477,8 +711,19 @@ let suite =
         Alcotest.test_case "pop_if_le horizon" `Quick test_heap_pop_if_le_horizon;
         Alcotest.test_case "clear releases values" `Quick test_heap_clear_releases_values;
         Alcotest.test_case "pop blanks vacated slots" `Quick test_heap_pop_blanks_slots;
+        Alcotest.test_case "clear keeps capacity" `Quick test_heap_clear_keeps_capacity;
         qcheck prop_heap_sorts;
         qcheck prop_heap_pop_if_le_matches_guarded_pop;
+      ] );
+    ( "wheel",
+      [
+        Alcotest.test_case "ordering" `Quick test_wheel_ordering;
+        Alcotest.test_case "FIFO on ties" `Quick test_wheel_fifo_ties;
+        Alcotest.test_case "pop_if_le horizon" `Quick test_wheel_pop_if_le_horizon;
+        Alcotest.test_case "cross-level and overflow" `Quick test_wheel_cross_level_and_overflow;
+        Alcotest.test_case "push below cursor" `Quick test_wheel_push_below_cursor;
+        Alcotest.test_case "clear and reuse" `Quick test_wheel_clear_reuse;
+        qcheck prop_wheel_matches_heap;
       ] );
     ( "sim",
       [
@@ -497,6 +742,11 @@ let suite =
         Alcotest.test_case "every with until before first tick" `Quick
           test_sim_every_until_before_first_tick;
         Alcotest.test_case "every overflow guard" `Quick test_sim_every_overflow_guard;
+        Alcotest.test_case "live_pending excludes cancelled" `Quick
+          test_sim_live_pending_excludes_cancelled;
+        Alcotest.test_case "backend selection" `Quick test_sim_backend_selection;
+        Alcotest.test_case "wheel backend runs" `Quick test_sim_wheel_backend_runs;
+        qcheck prop_sim_backends_equivalent;
       ] );
     ( "resource",
       [

@@ -81,6 +81,21 @@ let test_runner_parallel_matches_serial () =
   Alcotest.(check string) "rendered table cells identical" (mini_table serial)
     (mini_table parallel)
 
+(* The wheel backend must reproduce a full sweep byte-for-byte: scenario
+   worlds reach [Sim.create] without an explicit backend, so flipping the
+   process default is exactly what `--backend wheel` does, and the
+   rendered tables must not change by a single byte. *)
+let test_backend_sweep_identical () =
+  let rates = [ 50e3; 150e3; 250e3 ] in
+  let heap = mini_table (Runner.map ~jobs:1 mini_point rates) in
+  Sim.set_default_backend Sim.Wheel;
+  let wheel =
+    Fun.protect
+      ~finally:(fun () -> Sim.set_default_backend Sim.Heap)
+      (fun () -> mini_table (Runner.map ~jobs:1 mini_point rates))
+  in
+  Alcotest.(check string) "wheel sweep table == heap sweep table" heap wheel
+
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -194,6 +209,8 @@ let suite =
         Alcotest.test_case "exception propagation" `Quick test_runner_exception_propagates;
         Alcotest.test_case "parallel = serial (bit-identical)" `Quick
           test_runner_parallel_matches_serial;
+        Alcotest.test_case "wheel backend = heap backend (bit-identical)" `Quick
+          test_backend_sweep_identical;
       ] );
     ("table2", [ Alcotest.test_case "access-path ordering & +21us" `Slow test_table2_ordering ]);
     ("fig5", [ Alcotest.test_case "isolation claims" `Slow test_fig5_claims ]);

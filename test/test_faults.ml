@@ -224,6 +224,20 @@ let test_chaos_deterministic_and_resilient () =
   Alcotest.(check bool) "retries bounded by policy budget" true (Chaos.retries_bounded r);
   Alcotest.(check bool) "LC p95 within SLO in clean buckets" true (Chaos.clean_ok r)
 
+(* Running the whole chaos scenario on the timing-wheel backend must
+   render byte-identically to the heap backend at the same seed: backend
+   selection changes the event-queue datapath, never the event order. *)
+let test_chaos_backend_equivalence () =
+  let seed = 42L in
+  let heap = Chaos.render ~mode:Common.Quick ~seed () in
+  Sim.set_default_backend Sim.Wheel;
+  let wheel =
+    Fun.protect
+      ~finally:(fun () -> Sim.set_default_backend Sim.Heap)
+      (fun () -> Chaos.render ~mode:Common.Quick ~seed ())
+  in
+  Alcotest.(check bool) "wheel chaos render == heap" true (String.equal heap wheel)
+
 let suite =
   [
     ( "fault_plan",
@@ -244,5 +258,7 @@ let suite =
       [
         Alcotest.test_case "deterministic, SLO-preserving, bounded retries" `Slow
           test_chaos_deterministic_and_resilient;
+        Alcotest.test_case "wheel backend renders identically" `Slow
+          test_chaos_backend_equivalence;
       ] );
   ]

@@ -162,7 +162,7 @@ let prop_hdr_diff_add_id =
            [ 0.0; 50.0; 95.0; 99.0; 100.0 ])
 
 let prop_hdr_vs_reservoir =
-  QCheck.Test.make ~name:"hdr percentile within 3% of exact" ~count:50
+  QCheck.Test.make ~name:"hdr percentile within one bucket of exact" ~count:50
     QCheck.(list_of_size Gen.(int_range 100 2000) (int_range 1_000 100_000_000))
     (fun values ->
       let h = Hdr_histogram.create () in
@@ -173,13 +173,21 @@ let prop_hdr_vs_reservoir =
           Hdr_histogram.record h (Int64.of_int v);
           Reservoir.add r (float_of_int v))
         values;
+      (* Compare at hdr's own rank convention — the ceil-rank-th smallest
+         sample — so the only divergence left is bucket granularity
+         (~1.6% with 6 sub-bucket bits).  Comparing against linear
+         interpolation instead makes the error sample-spacing-dominated
+         and flaky at these list sizes. *)
+      let sorted = Reservoir.values r in
+      let n = Array.length sorted in
       List.for_all
         (fun p ->
           let approx = Int64.to_float (Hdr_histogram.percentile h p) in
-          let exact = Reservoir.percentile r p in
-          (* Both are bucket/interpolation approximations of the same rank;
-             allow 4% slack plus interpolation width. *)
-          approx >= exact *. 0.96 -. 2.0 && approx <= (exact *. 1.04) +. 2.0)
+          let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+          let exact = sorted.(max 0 (rank - 1)) in
+          (* hdr reports the inclusive upper edge of the bucket holding
+             the rank-th value, clamped into the observed range. *)
+          approx >= exact && approx <= (exact *. 1.04) +. 2.0)
         [ 50.0; 90.0; 95.0; 99.0 ])
 
 let prop_hdr_monotone =
