@@ -4,10 +4,12 @@
 # findings required), the whole alcotest suite, the bench smoke (parallel-runner sanity +
 # telemetry, faults and monitor on/off overhead) with its numbers
 # recorded in BENCH_SMOKE.json for trend tracking, the chaos smoke
-# (scripted fault plan + determinism verification) and the monitor
-# smoke (alerting acceptance + bit-reproducible alert timeline).
+# (scripted fault plan + determinism verification), the monitor
+# smoke (alerting acceptance + bit-reproducible alert timeline) and the
+# obs smoke (alert-triggered flight-recorder dump, byte-identical
+# across reruns/parallelism/backends).
 
-.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke check trace chaos monitor bench clean
+.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke obs-smoke check trace chaos monitor obs bench clean
 
 all: build
 
@@ -46,12 +48,23 @@ monitor-smoke: build
 	@grep -q "serial vs --jobs 2 byte-identical: true" _build/monitor_smoke.out
 	@echo "monitor smoke OK: alerts in fault windows, clean runs silent, timeline byte-identical"
 
+# Observability acceptance: an alert-triggered flight dump is captured,
+# names its firing alert and active fault window, and is byte-identical
+# across same-seed reruns, serial vs --jobs 2, and heap vs wheel.
+obs-smoke: build
+	dune exec bin/reflex_sim.exe -- obs > _build/obs_smoke.out
+	@grep -q "OBS OK" _build/obs_smoke.out
+	@grep -q "heap vs wheel dump byte-identical: true" _build/obs_smoke.out
+	@grep -q "dump names its trigger alert                 PASS" _build/obs_smoke.out
+	@echo "obs smoke OK: forensic dump names its alert, bytes identical across backends"
+
 check: build
 	$(MAKE) lint
 	dune runtest
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json
 	$(MAKE) chaos-smoke
 	$(MAKE) monitor-smoke
+	$(MAKE) obs-smoke
 
 # Canonical telemetry scenario: per-request latency breakdowns, SLO
 # audit, scheduler decision log, Chrome trace JSON.
@@ -65,6 +78,11 @@ chaos: build
 # Full monitoring scenario: alert debrief, budgets, remediation log.
 monitor: build
 	dune exec bin/reflex_sim.exe -- monitor
+
+# Observability scenario: flight-recorder dumps, retry span trees,
+# dump-determinism debrief, cost profile.
+obs: build
+	dune exec bin/reflex_sim.exe -- obs
 
 # Full figure reproduction + microbenchmarks (quick mode).
 bench: build

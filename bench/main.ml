@@ -196,6 +196,71 @@ let speed_leg () =
   if dh <> dw then print_endline "WARNING: heap and wheel diverged (events, final time)";
   print_newline ()
 
+(* ---------------- Continuous cost profiler ---------------- *)
+
+(* Two views of where the simulator's own host cost goes:
+
+   1. Per-subsystem shares: the full observability scenario (lib/experiments
+      Obs_exp — LC/BE tenants, retries, faults, monitor) run once with the
+      lib/obs cost profiler armed, attributing wall time and minor-heap
+      words to engine/qos/flash/net/telemetry/monitor scopes.
+
+   2. Scheduler-tick cost curve: a standalone token scheduler with N LC
+      tenants, measuring host nanoseconds per schedule round as N grows —
+      the per-tick cost the ROADMAP's 100K-tenant item needs to stay flat
+      per tenant.
+
+   Both are nondeterministic host measurements (see profiler.mli); they are
+   reported here and in the --json "profile" section only. *)
+
+let profile_shares : (string * float * float * float) list ref = ref []
+let tick_curve : (int * float * float) list ref = ref []
+(* (tenants, ns per round, ns per round per tenant) *)
+
+let profile_leg () =
+  let open Reflex_engine in
+  let open Reflex_qos in
+  let module Profiler = Reflex_obs.Profiler in
+  let r = Obs_exp.run ~mode:!mode ~profile:true () in
+  profile_shares := Profiler.shares r.Obs_exp.profiler;
+  Printf.printf "== cost profiler: observability scenario ==\n%s\n%!"
+    (Profiler.report r.Obs_exp.profiler);
+  let counts =
+    match !mode with
+    | Common.Full -> [ 16; 64; 256; 1024; 4096 ]
+    | Common.Quick -> [ 16; 64; 256; 1024 ]
+  in
+  let rounds = match !mode with Common.Full -> 2_000 | Common.Quick -> 500 in
+  Printf.printf "== scheduler-tick cost vs tenant count (%d rounds each) ==\n" rounds;
+  List.iter
+    (fun n ->
+      let global = Global_bucket.create ~n_threads:1 in
+      let sched = Scheduler.create ~global ~thread_id:0 () in
+      for i = 1 to n do
+        Scheduler.add_tenant sched
+          (Tenant.create ~id:i
+             ~slo:(Slo.latency_critical ~latency_us:500 ~iops:1000.0 ~read_pct:100)
+             ~token_rate:1e6)
+      done;
+      for i = 1 to n do
+        Scheduler.enqueue sched ~tenant_id:i ~cost:1.0 ()
+      done;
+      (* Round 0 drains the queued work; the timed rounds then measure the
+         steady-state per-tick walk (refill + decision per tenant). *)
+      ignore (Scheduler.schedule sched ~now:(Time.us 100) ~submit:(fun _ -> ()));
+      let t0 = Unix.gettimeofday () in
+      for k = 1 to rounds do
+        ignore (Scheduler.schedule sched ~now:(Time.us (100 + (100 * k))) ~submit:(fun _ -> ()))
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      let ns_round = wall /. float_of_int rounds *. 1e9 in
+      let ns_tenant = ns_round /. float_of_int n in
+      tick_curve := (n, ns_round, ns_tenant) :: !tick_curve;
+      Printf.printf "%6d tenants  %12.0f ns/round  %8.1f ns/round/tenant\n%!" n ns_round
+        ns_tenant)
+    counts;
+  print_newline ()
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
 let micro_benchmarks () =
@@ -376,6 +441,31 @@ let write_json path =
           name n name eps name mwpe)
       legs;
     Printf.fprintf oc "},\n");
+  if !profile_shares <> [] || !tick_curve <> [] then begin
+    Printf.fprintf oc "  \"profile\": {\n";
+    Printf.fprintf oc "    \"subsystems\": [\n";
+    let shares = !profile_shares in
+    List.iteri
+      (fun i (name, self_s, share, mwords) ->
+        Printf.fprintf oc
+          "      {\"name\": \"%s\", \"self_wall_ms\": %.3f, \"wall_share\": %.4f, \
+           \"minor_words\": %.0f}%s\n"
+          name (1e3 *. self_s) share mwords
+          (if i = List.length shares - 1 then "" else ","))
+      shares;
+    Printf.fprintf oc "    ],\n";
+    Printf.fprintf oc "    \"scheduler_tick\": [\n";
+    let curve = List.rev !tick_curve in
+    List.iteri
+      (fun i (n, ns_round, ns_tenant) ->
+        Printf.fprintf oc
+          "      {\"tenants\": %d, \"ns_per_round\": %.0f, \"ns_per_tenant\": %.1f}%s\n" n
+          ns_round ns_tenant
+          (if i = List.length curve - 1 then "" else ","))
+      curve;
+    Printf.fprintf oc "    ]\n";
+    Printf.fprintf oc "  },\n"
+  end;
   Printf.fprintf oc "  \"micros\": [\n";
   let micros = List.rev !micro_results in
   List.iteri
@@ -398,5 +488,6 @@ let () =
   List.iter (fun (id, f) -> timed id (fun () -> f !mode)) experiments;
   if enabled "telemetry" then telemetry_overhead ();
   if enabled "speed" then speed_leg ();
+  if enabled "profile" then profile_leg ();
   if (not !skip_micro) && enabled "micro" then micro_benchmarks ();
   match !json_path with Some p -> write_json p | None -> ()

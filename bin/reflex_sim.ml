@@ -1,19 +1,23 @@
 (* Command-line driver: run any paper experiment by id.
 
      reflex_sim list
-     reflex_sim run fig5 [--full] [--telemetry] [--trace-out FILE]
+     reflex_sim run fig5 [--full] [--telemetry]
      reflex_sim run all  [--full]
      reflex_sim trace    [--full] [--out FILE] [--audit-window-us US]
      reflex_sim chaos    [--full] [--seed N] [--no-verify] [--audit-window-us US]
-     reflex_sim monitor  [--full] [--seed N] [--no-verify]
-                         [--prom-out FILE] [--trace-out FILE]
+     reflex_sim monitor  [--full] [--seed N] [--no-verify] [--flight-dump FILE]
+     reflex_sim obs      [--full] [--seed N] [--no-verify] [--flight-dump FILE]
+                         [--dump-json FILE]
 
-   run/trace/chaos/monitor all take [--backend heap|wheel] to pick the
-   event-queue backend; the output is byte-identical either way.       *)
+   run/trace/chaos/monitor/obs all take [--backend heap|wheel] (wheel is
+   the default; output is byte-identical either way) and the shared
+   [--prom-out FILE] / [--trace-out FILE] observability outputs.       *)
 
 open Cmdliner
 open Reflex_experiments
 open Reflex_telemetry
+module Monitor = Reflex_monitor.Monitor
+module Prom_export = Reflex_monitor.Prom_export
 
 let experiments : (string * string * (Common.mode -> unit)) list =
   [
@@ -69,7 +73,9 @@ let list_cmd =
     Printf.printf "%-8s %s\n" "chaos"
       "scripted fault plan with retries and SLO audit (see 'reflex_sim chaos --help')";
     Printf.printf "%-8s %s\n" "monitor"
-      "online monitoring & alerting acceptance scenario (see 'reflex_sim monitor --help')"
+      "online monitoring & alerting acceptance scenario (see 'reflex_sim monitor --help')";
+    Printf.printf "%-8s %s\n" "obs"
+      "flight recorder, forensic dumps & cost profiler acceptance (see 'reflex_sim obs --help')"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -87,9 +93,17 @@ let print_telemetry_reports ?audit_window tel =
   print_newline ();
   print_string (Telemetry.metrics_report tel)
 
-let export_trace tel path =
-  Trace_export.write_chrome_json tel path;
+let export_trace ?extra tel path =
+  Trace_export.write_chrome_json ?extra tel path;
   Printf.printf "\nChrome trace written to %s (load in about://tracing or Perfetto)\n" path
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let export_prom tel path =
+  write_file path (Prom_export.render tel);
+  Printf.printf "\nPrometheus exposition written to %s\n" path
 
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"longer windows and denser sweeps")
@@ -105,14 +119,56 @@ let backend_arg =
   in
   Arg.(
     value
-    & opt backend_conv Reflex_engine.Sim.Heap
+    & opt backend_conv Reflex_engine.Sim.Wheel
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
-          "event-queue backend for every simulated world: $(b,heap) (binary min-heap, \
-           the default) or $(b,wheel) (hierarchical timing wheel); results are \
-           byte-identical either way")
+          "event-queue backend for every simulated world: $(b,wheel) (hierarchical \
+           timing wheel, the default) or $(b,heap) (binary min-heap, the reference \
+           implementation); results are byte-identical either way")
 
 let set_backend b = Reflex_engine.Sim.set_default_backend b
+
+(* Observability outputs shared by run/trace/chaos/monitor/obs: one
+   Cmdliner term so every command accepts the same two flags.  monitor
+   and obs enrich both outputs (budget/alert gauges, alert instants);
+   the other commands export the plain telemetry registry and spans. *)
+let obs_out_term =
+  let prom_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "write the run's Prometheus text exposition (telemetry registry; budget and \
+             alert gauges where the command has a monitor) to $(docv)")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace_event JSON of the run (lifecycle spans, fault windows, \
+             causal links; alert instants where the command has a monitor) to $(docv)")
+  in
+  Term.(const (fun p t -> (p, t)) $ prom_out_arg $ trace_out_arg)
+
+(* First alert-triggered flight dump as a Chrome trace (monitor/obs). *)
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "write the first alert-triggered flight-recorder dump as Chrome trace_event \
+           JSON to $(docv)")
+
+let export_flight_dump dumps path =
+  match dumps with
+  | [] -> prerr_endline "warning: no alert fired, no flight dump captured"
+  | d :: _ ->
+    write_file path (Monitor.dump_chrome_json d);
+    Printf.printf "\nFlight dump (trigger %s) written to %s\n" d.Monitor.d_rule path
 
 (* SLO-audit bucket width, exposed on the commands that print the audit
    (default matches Slo_audit's built-in 10ms). *)
@@ -140,21 +196,13 @@ let run_cmd =
              decision log) on every simulated world and print the observability reports \
              for the last world after the run")
   in
-  let trace_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:
-            "write a Chrome trace_event JSON of the last world's request lifecycle spans \
-             to $(docv); implies $(b,--telemetry) and forces a serial run (jobs=1) so \
-             'last world' is well defined")
-  in
-  let run backend id full telemetry trace_out =
+  let run backend id full telemetry (prom_out, trace_out) =
     set_backend backend;
-    let telemetry = telemetry || trace_out <> None in
+    let telemetry = telemetry || trace_out <> None || prom_out <> None in
     if telemetry then Common.set_default_telemetry true;
-    if trace_out <> None then Runner.set_default_jobs 1;
+    (* Exports read the *last* world's telemetry, so force a serial run
+       (jobs=1) to make "last" well defined. *)
+    if trace_out <> None || prom_out <> None then Runner.set_default_jobs 1;
     let mode = if full then Common.Full else Common.Quick in
     let finish () =
       if telemetry then
@@ -162,7 +210,8 @@ let run_cmd =
         | None -> prerr_endline "warning: no telemetry-enabled world was built"
         | Some tel ->
           print_telemetry_reports tel;
-          Option.iter (export_trace tel) trace_out
+          Option.iter (export_trace tel) trace_out;
+          Option.iter (export_prom tel) prom_out
     in
     if id = "all" then begin
       List.iter (fun (_, _, f) -> f mode) experiments;
@@ -178,7 +227,7 @@ let run_cmd =
       | None -> `Error (false, "unknown experiment: " ^ id ^ " (try 'list')")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ backend_arg $ id_arg $ full_arg $ telemetry_arg $ trace_out_arg))
+    Term.(ret (const run $ backend_arg $ id_arg $ full_arg $ telemetry_arg $ obs_out_term))
 
 let trace_cmd =
   let doc =
@@ -193,16 +242,18 @@ let trace_cmd =
       & opt string "reflex_trace.json"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"where to write the Chrome trace JSON")
   in
-  let run backend full out audit_us =
+  let run backend full out audit_us (prom_out, trace_out) =
     set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     let { Tracing.telemetry = tel; rows } = Tracing.run ~mode () in
     Reflex_stats.Table.print (Tracing.to_table rows);
     print_telemetry_reports ~audit_window:(audit_window_of audit_us) tel;
-    export_trace tel out
+    (* --trace-out (the shared flag) overrides -o/--out. *)
+    export_trace tel (Option.value trace_out ~default:out);
+    Option.iter (export_prom tel) prom_out
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ backend_arg $ full_arg $ out_arg $ audit_window_arg)
+    Term.(const run $ backend_arg $ full_arg $ out_arg $ audit_window_arg $ obs_out_term)
 
 let chaos_cmd =
   let doc =
@@ -224,25 +275,22 @@ let chaos_cmd =
       & info [ "no-verify" ]
           ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
   in
-  let run backend full seed no_verify audit_us =
+  let run backend full seed no_verify audit_us (prom_out, trace_out) =
     set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     let window = audit_window_of audit_us in
-    if no_verify then begin
-      let r = Chaos.run ~mode ~seed () in
-      print_string (Chaos.render_result r);
-      print_newline ();
-      print_string (Slo_audit.report ~window r.Chaos.telemetry)
-    end
-    else begin
-      print_string (Chaos.debrief ~mode ~seed ());
-      let r = Chaos.run ~mode ~seed () in
-      print_newline ();
-      print_string (Slo_audit.report ~window r.Chaos.telemetry)
-    end
+    if not no_verify then print_string (Chaos.debrief ~mode ~seed ());
+    let r = Chaos.run ~mode ~seed () in
+    if no_verify then print_string (Chaos.render_result r);
+    print_newline ();
+    print_string (Slo_audit.report ~window r.Chaos.telemetry);
+    Option.iter (export_trace r.Chaos.telemetry) trace_out;
+    Option.iter (export_prom r.Chaos.telemetry) prom_out
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ audit_window_arg)
+    Term.(
+      const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ audit_window_arg
+      $ obs_out_term)
 
 let monitor_cmd =
   let doc =
@@ -265,37 +313,17 @@ let monitor_cmd =
       & info [ "no-verify" ]
           ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
   in
-  let prom_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "prom-out" ] ~docv:"FILE"
-          ~doc:
-            "write the faulted leg's Prometheus text exposition (telemetry registry + \
-             budget and alert gauges) to $(docv)")
-  in
-  let trace_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:
-            "write a Chrome trace_event JSON of the faulted leg to $(docv): lifecycle \
-             spans, fault windows as duration events, alerts as instant events")
-  in
-  let run backend full seed no_verify prom_out trace_out =
+  let run backend full seed no_verify (prom_out, trace_out) flight_dump =
     set_backend backend;
     let mode = if full then Common.Full else Common.Quick in
     if not no_verify then print_string (Monitor_exp.debrief ~mode ~seed ());
-    if no_verify || prom_out <> None || trace_out <> None then begin
+    if no_verify || prom_out <> None || trace_out <> None || flight_dump <> None then begin
       let r = Monitor_exp.run ~mode ~seed () in
       if no_verify then print_string (Monitor_exp.render_result r);
-      let prom, instants, _ = Monitor_exp.exports r in
+      let prom, instants, mon = Monitor_exp.exports r in
       Option.iter
         (fun path ->
-          let oc = open_out path in
-          output_string oc prom;
-          close_out oc;
+          write_file path prom;
           Printf.printf "\nPrometheus exposition written to %s\n" path)
         prom_out;
       Option.iter
@@ -304,15 +332,80 @@ let monitor_cmd =
             path;
           Printf.printf
             "\nChrome trace written to %s (fault windows + alert instants included)\n" path)
-        trace_out
+        trace_out;
+      Option.iter (export_flight_dump (Monitor.flight_dumps mon)) flight_dump
     end
   in
   Cmd.v (Cmd.info "monitor" ~doc)
     Term.(
-      const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ prom_out_arg
-      $ trace_out_arg)
+      const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ obs_out_term
+      $ flight_dump_arg)
+
+let obs_cmd =
+  let doc =
+    "Run the observability acceptance scenario: the chaos world with the always-on \
+     flight recorder, alert-triggered forensic dumps, causal retry span links and the \
+     continuous cost profiler armed.  By default the debrief verifies the first dump is \
+     byte-identical across a same-seed rerun, serial vs two domains, and heap vs wheel \
+     event backends, and that a disarmed recorder perturbs nothing; the profiler table \
+     (host wall time, nondeterministic by design) is printed separately."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"N" ~doc:"root seed for the world, generators and injector")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"skip the determinism verification (runs the scenario once instead of 8x)")
+  in
+  let dump_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-json" ] ~docv:"FILE"
+          ~doc:"write the first flight dump's JSON forensic debrief to $(docv)")
+  in
+  let run backend full seed no_verify (prom_out, trace_out) flight_dump dump_json =
+    set_backend backend;
+    let mode = if full then Common.Full else Common.Quick in
+    if not no_verify then print_string (Obs_exp.debrief ~mode ~seed ());
+    (* One profiled run drives the exports and the cost table (the
+       verification legs above run unprofiled, keeping them cheap). *)
+    let r = Obs_exp.run ~mode ~seed ~profile:true () in
+    if no_verify then print_string (Obs_exp.render_result r);
+    print_newline ();
+    print_string (Obs_exp.profile_report r);
+    Option.iter (export_flight_dump (Obs_exp.dumps r)) flight_dump;
+    Option.iter
+      (fun path ->
+        match Obs_exp.first_debrief r with
+        | None -> prerr_endline "warning: no alert fired, no flight dump captured"
+        | Some j ->
+          write_file path j;
+          Printf.printf "\nFlight dump debrief written to %s\n" path)
+      dump_json;
+    Option.iter
+      (fun path ->
+        export_trace ~extra:(Monitor.chrome_instants r.Obs_exp.monitor) r.Obs_exp.telemetry
+          path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        write_file path (Monitor.prometheus r.Obs_exp.monitor);
+        Printf.printf "\nPrometheus exposition written to %s\n" path)
+      prom_out
+  in
+  Cmd.v (Cmd.info "obs" ~doc)
+    Term.(
+      const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ obs_out_term
+      $ flight_dump_arg $ dump_json_arg)
 
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
   let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd; monitor_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd; monitor_cmd; obs_cmd ]))

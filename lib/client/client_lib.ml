@@ -147,8 +147,10 @@ let msg_of_op ~handle ~req_id = function
    cancelled (closure dropped immediately, see Sim.cancel) when the
    response lands first.  Every attempt uses a fresh request id, so a
    late response to an abandoned attempt finds no outstanding entry and
-   is dropped — re-issue is at-least-once, completion exactly-once. *)
-let rec issue t ~handle ~t0 ~attempt ~op pk =
+   is dropped — re-issue is at-least-once, completion exactly-once.
+   [prev] is the req_id of the attempt this one retries: the causal
+   follows-from link chains the attempts into one span tree. *)
+let rec issue ?prev t ~handle ~t0 ~attempt ~op pk =
   let req_id = t.next_req in
   t.next_req <- Int64.add req_id 1L;
   let timer =
@@ -157,9 +159,15 @@ let rec issue t ~handle ~t0 ~attempt ~op pk =
     | Some policy -> Some (Sim.after t.sim policy.Retry.timeout (fun () -> on_timeout t req_id))
   in
   Hashtbl.replace t.outstanding req_id { t0; pk; op; attempt; timer };
-  if t.tel_on && op <> Op_barrier then
+  if t.tel_on && op <> Op_barrier then begin
     Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:handle ~req_id
       Telemetry.Stage.Client_submit;
+    match prev with
+    | Some prev_id ->
+      Telemetry.link t.tel ~now:(Sim.now t.sim) ~kind:Telemetry.Follows_from
+        ~src_tenant:handle ~src_req:prev_id ~dst_tenant:handle ~dst_req:req_id
+    | None -> ()
+  end;
   send t (msg_of_op ~handle ~req_id op)
 
 and on_timeout t req_id =
@@ -179,7 +187,8 @@ and on_timeout t req_id =
       ignore
         (Sim.after t.sim delay (fun () ->
              match t.handle with
-             | Some h -> issue t ~handle:h ~t0:p.t0 ~attempt:(p.attempt + 1) ~op:p.op p.pk
+             | Some h ->
+               issue ~prev:req_id t ~handle:h ~t0:p.t0 ~attempt:(p.attempt + 1) ~op:p.op p.pk
              | None -> give_up ()))
     end)
 

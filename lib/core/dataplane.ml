@@ -36,6 +36,11 @@ type 'a t = {
      to the request id used for span identity. *)
   tel : Telemetry.t;
   tel_on : bool;
+  (* Always-on flight recorder, cached off the telemetry instance at
+     creation; one queue-depth record per cycle frames every forensic
+     dump with what the rx ring and SQ looked like. *)
+  fl : Reflex_obs.Flight.t;
+  fl_on : bool;
   trace_id : 'a -> int64;
 }
 
@@ -76,6 +81,11 @@ let rec kick t =
    take effect. *)
 and run_cycle t =
   let costs = t.costs in
+  if t.fl_on then
+    Reflex_obs.Flight.record t.fl ~now:(Sim.now t.sim) ~kind:Reflex_obs.Flight.Kind.Queue_depth
+      ~a:t.thread_id
+      ~b:(Hashtbl.length t.outstanding)
+      ~v:(float_of_int (Queue.length t.rx_ring));
   (* Size the batch up front (the ring only grows until we drain it, and
      this thread is the sole consumer), charge the CPU, then pop the same
      [n] messages straight off the ring inside the completion — no
@@ -225,6 +235,8 @@ let create sim ~thread_id ~qp ~device ~cost_model ~global ?(costs = Costs.defaul
       rounds = 0;
       tel = telemetry;
       tel_on = Telemetry.enabled telemetry;
+      fl = Telemetry.flight telemetry;
+      fl_on = Reflex_obs.Flight.enabled (Telemetry.flight telemetry);
       trace_id;
     }
   in

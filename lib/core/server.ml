@@ -524,6 +524,10 @@ let demote_tenant t ~tenant =
           ~backlog;
         if t.tel_on then
           Telemetry.unregister t.tel (Printf.sprintf "qos/t%d/slo_headroom_us" tenant);
+        (let fl = Telemetry.flight t.tel in
+         if Reflex_obs.Flight.enabled fl then
+           Reflex_obs.Flight.record fl ~now:(Sim.now t.sim)
+             ~kind:Reflex_obs.Flight.Kind.Demote ~a:tenant ~b:thread ~v:0.0);
         refresh_rates t;
         true
       end)

@@ -37,10 +37,14 @@ let default_seed = 0x5EED_0F_F1A5_1234L
 
 (* Backend used by [create] when none is passed explicitly.  Written
    once by the CLI before any simulation exists; reflects the per-run
-   [--backend] selection. *)
-let default_backend = ref Heap
+   [--backend] selection.  Wheel is the default: it is byte-identical to
+   the heap at any seed and ~2.5-3x faster on the dataplane event mix
+   (see BENCH_BASELINE.json); [--backend heap] keeps the reference
+   implementation reachable. *)
+let default_backend = ref Wheel
 
 let set_default_backend b = default_backend := b
+let get_default_backend () = !default_backend
 
 (* Shared thunk so cancellation and slot recycling can drop an event's
    closure without allocating. *)

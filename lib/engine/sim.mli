@@ -26,13 +26,18 @@ type backend = Heap | Wheel
 val default_seed : int64
 
 (** [create ?seed ?backend ()] — [backend] defaults to the process-wide
-    selection (see {!set_default_backend}), itself [Heap] initially. *)
+    selection (see {!set_default_backend}), itself [Wheel] initially
+    (byte-identical to [Heap], ~2.5-3x faster on the dataplane mix). *)
 val create : ?seed:int64 -> ?backend:backend -> unit -> t
 
 (** Set the backend used by {!create} when none is passed explicitly.
     Intended for per-run CLI selection ([--backend]); call before any
     simulation is created. *)
 val set_default_backend : backend -> unit
+
+(** Current process-wide default (for save/restore around a sweep that
+    forces a specific backend). *)
+val get_default_backend : unit -> backend
 
 (** Backend this simulation runs on. *)
 val backend : t -> backend

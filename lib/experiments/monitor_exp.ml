@@ -82,6 +82,11 @@ let monitor_of ?(enabled = true) ~scale w =
 let run_leg ~mode ~seed ~faults ~monitor:monitor_kind () =
   let scale = scale_of mode in
   let telemetry = Telemetry.create () in
+  (* Always-on flight recorder: armed before the world is built (the
+     scheduler and dataplane cache the handle), so alert edges trigger
+     forensic dumps.  Records never feed simulation state, so every
+     digest/identity check below is unaffected. *)
+  Telemetry.set_flight telemetry (Reflex_obs.Flight.create ());
   let w = Common.make_reflex ~n_threads:2 ~telemetry ~seed () in
   let sim = w.Common.sim in
   let timeline = Time.scale (Time.sec 10) scale in

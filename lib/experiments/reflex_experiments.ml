@@ -16,3 +16,4 @@ module Ablations = Ablations
 module Tracing = Tracing
 module Chaos = Chaos
 module Monitor_exp = Monitor_exp
+module Obs_exp = Obs_exp

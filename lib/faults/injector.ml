@@ -134,6 +134,16 @@ let arm ?(seed = 0xFA_175EEDL) ?(degrade = true) tgt ~plan =
      injector's own PRNG, if any window needs it. *)
   if List.exists (fun (w : Fault_plan.window) -> needs_fabric w.fault) plan then
     Reflex_net.Fabric.set_fault_prng (fabric t) (Prng.split t.prng);
+  (* Pre-intern every window label into the flight recorder now (cold
+     path), so the Fault_on/Fault_off records mirrored by fault_mark at
+     window transitions never pay the first-use intern, and label ids
+     follow plan order rather than transition order. *)
+  (let fl = Telemetry.flight tgt.telemetry in
+   if Reflex_obs.Flight.enabled fl then
+     List.iter
+       (fun (w : Fault_plan.window) ->
+         ignore (Reflex_obs.Flight.intern fl (Fault_plan.label w.fault)))
+       plan);
   List.iter
     (fun (w : Fault_plan.window) ->
       ignore (Sim.at tgt.sim w.at (fun () -> start t w));

@@ -37,6 +37,9 @@ type t = {
   tel_on : bool;
   h_read : Reflex_stats.Hdr_histogram.t; (* flash/read_ns *)
   h_write : Reflex_stats.Hdr_histogram.t; (* flash/write_ns *)
+  (* Cost profiler (lib/obs), cached off the telemetry instance; scopes
+     the submission path under the Flash bucket.  Disabled by default. *)
+  prof : Reflex_obs.Profiler.t;
 }
 
 let create ?(telemetry = Telemetry.disabled) sim ~profile ~prng =
@@ -62,6 +65,7 @@ let create ?(telemetry = Telemetry.disabled) sim ~profile ~prng =
       tel_on = Telemetry.enabled telemetry;
       h_read = Telemetry.histogram telemetry "flash/read_ns";
       h_write = Telemetry.histogram telemetry "flash/write_ns";
+      prof = Telemetry.profiler telemetry;
     }
   in
   if t.tel_on then begin
@@ -197,9 +201,11 @@ let submit_write t ~bytes cb =
 
 let submit t ~kind ~bytes cb =
   if bytes <= 0 then invalid_arg "Nvme_model.submit: non-positive size";
-  match (kind : Io_op.kind) with
+  Reflex_obs.Profiler.enter t.prof Reflex_obs.Profiler.Subsystem.Flash;
+  (match (kind : Io_op.kind) with
   | Read -> submit_read t ~bytes cb
-  | Write -> submit_write t ~bytes cb
+  | Write -> submit_write t ~bytes cb);
+  Reflex_obs.Profiler.leave t.prof Reflex_obs.Profiler.Subsystem.Flash
 
 let reads_completed t = t.reads_done
 let writes_completed t = t.writes_done

@@ -2,6 +2,9 @@ open Reflex_engine
 open Reflex_stats
 open Reflex_core
 open Reflex_telemetry
+module Flight = Reflex_obs.Flight
+module Flight_dump = Reflex_obs.Flight_dump
+module Profiler = Reflex_obs.Profiler
 
 (* The monitoring facade: one daemon tick drives the whole pipeline
 
@@ -24,12 +27,28 @@ open Reflex_telemetry
    to a run with no monitor at all.  Remediation is opt-in via [bind];
    without bindings the monitor is a pure observer even when enabled. *)
 
+(* One alert-triggered forensic dump: the flight-ring snapshot frozen at
+   the tick where the alert fired, plus the cross-references needed to
+   render it ([Flight_dump.debrief] / [to_chrome_json]). *)
+type flight_dump = {
+  d_rule : string;
+  d_time : Time.t;
+  d_detail : string;
+  d_snapshot : Flight.snapshot;
+  d_faults : Flight_dump.fault_window list;
+}
+
 type t = {
   enabled : bool;
   server : Server.t;
   telemetry : Telemetry.t;
   tsdb : Tsdb.t;
   alerts : Alerts.t;
+  flight : Flight.t; (* cached off telemetry at create time *)
+  profiler : Profiler.t;
+  dump_window : Time.t;
+  max_dumps : int;
+  mutable dumps_rev : flight_dump list;
   budgets : (int, Budget.t) Hashtbl.t;
   tracked : (int, unit) Hashtbl.t;
   target : float;
@@ -66,7 +85,7 @@ let fault_annotation telemetry ~lookback now =
 let create ?(enabled = true) ?(interval = Time.ms 1) ?(capacity = 512) ?(target = 0.999)
     ?(burn_short = (1, 14.0)) ?(burn_long = (10, 6.0)) ?(budget_period = Time.sec 1)
     ?(z_thresh = 3.0) ?(anomaly_floor = 0.25) ?(knee_frac = 0.8) ?(cooldown = Time.ms 5)
-    ?fault_lookback ~server ~telemetry () =
+    ?fault_lookback ?(dump_window = Time.ms 5) ?(max_dumps = 4) ~server ~telemetry () =
   let enabled = enabled && Telemetry.enabled telemetry in
   let tsdb = if enabled then Tsdb.create ~capacity ~interval () else Tsdb.disabled in
   let lookback =
@@ -86,6 +105,11 @@ let create ?(enabled = true) ?(interval = Time.ms 1) ?(capacity = 512) ?(target 
       telemetry;
       tsdb;
       alerts;
+      flight = Telemetry.flight telemetry;
+      profiler = Telemetry.profiler telemetry;
+      dump_window;
+      max_dumps;
+      dumps_rev = [];
       budgets = Hashtbl.create 8;
       tracked = Hashtbl.create 8;
       target;
@@ -110,7 +134,20 @@ let create ?(enabled = true) ?(interval = Time.ms 1) ?(capacity = 512) ?(target 
     Tsdb.register_cumulative tsdb "server/tokens_spent" (fun () ->
         Server.tokens_spent server);
     Tsdb.register_gauge tsdb "server/active_threads" (fun () ->
-        float_of_int (Server.active_threads server))
+        float_of_int (Server.active_threads server));
+    (* Continuous cost profiler: sample per-subsystem attribution on
+       every window close.  The values are host wall time / GC words —
+       nondeterministic by design — and feed only the Tsdb/Prometheus
+       exports, never an alert rule or a byte-identity-checked render. *)
+    if Profiler.enabled t.profiler then
+      List.iter
+        (fun sub ->
+          let pfx = "obs/prof/" ^ Profiler.Subsystem.name sub in
+          Tsdb.register_cumulative tsdb (pfx ^ "/wall_ms") (fun () ->
+              1e3 *. Profiler.wall_s t.profiler sub);
+          Tsdb.register_cumulative tsdb (pfx ^ "/minor_words") (fun () ->
+              Profiler.minor_words t.profiler sub))
+        Profiler.Subsystem.all
   end;
   t
 
@@ -225,8 +262,43 @@ let cooldown_ok t rule now =
   | None -> true
   | Some last -> Time.(Time.diff now last >= t.cooldown)
 
+let severity_int = function Alerts.Info -> 0 | Alerts.Ticket -> 1 | Alerts.Page -> 2
+
+(* Mirror one alert edge into the flight ring (interned rule name in [a],
+   severity in [b]) so the triggering edge itself appears in the dump. *)
+let flight_alert_edge t (e : Alerts.event) =
+  if Flight.enabled t.flight then
+    let kind =
+      match e.e_kind with
+      | Alerts.Fired -> Flight.Kind.Alert_fire
+      | Alerts.Resolved -> Flight.Kind.Alert_resolve
+    in
+    Flight.record t.flight ~now:e.e_time ~kind ~a:(Flight.intern t.flight e.e_rule)
+      ~b:(severity_int e.e_severity) ~v:0.0
+
+(* Triggered dump: freeze the last [dump_window] of the flight ring at
+   the first fired edge of this tick (records for the edge are written
+   first, so the trigger is inside its own snapshot), capped at
+   [max_dumps] per run so a flapping rule cannot hoard memory. *)
+let maybe_dump t (e : Alerts.event) =
+  if
+    e.e_kind = Alerts.Fired
+    && Flight.enabled t.flight
+    && List.length t.dumps_rev < t.max_dumps
+  then
+    t.dumps_rev <-
+      {
+        d_rule = e.e_rule;
+        d_time = e.e_time;
+        d_detail = e.e_detail;
+        d_snapshot = Flight.snapshot t.flight ~now:e.e_time ~window:t.dump_window;
+        d_faults = Telemetry.fault_windows t.telemetry;
+      }
+      :: t.dumps_rev
+
 let tick t ~now =
   if t.enabled then begin
+    Profiler.enter t.profiler Profiler.Subsystem.Monitor;
     sync_tenants t;
     Tsdb.tick t.tsdb ~now;
     let closed = Tsdb.windows_closed t.tsdb in
@@ -234,6 +306,8 @@ let tick t ~now =
       t.last_closed <- closed;
       (match Tsdb.last t.tsdb with Some w -> update_budgets t w | None -> ());
       let events = Alerts.step t.alerts t.tsdb ~now in
+      List.iter (flight_alert_edge t) events;
+      List.iter (maybe_dump t) events;
       List.iter
         (fun (e : Alerts.event) ->
           if e.e_kind = Alerts.Fired then
@@ -242,10 +316,12 @@ let tick t ~now =
               let outcome = Remediate.apply t.server action in
               Hashtbl.replace t.last_applied e.e_rule now;
               t.remediation_log_rev <- (now, e.e_rule, action, outcome)
-                                       :: t.remediation_log_rev
+                                       :: t.remediation_log_rev;
+              Telemetry.remediation_mark t.telemetry ~now ~rule:e.e_rule ~outcome
             | _ -> ())
         events
-    end
+    end;
+    Profiler.leave t.profiler Profiler.Subsystem.Monitor
   end
 
 let start t sim () =
@@ -260,6 +336,13 @@ let bind t ~rule action =
       List.sort (fun (a, _) (b, _) -> compare a b) ((rule, action) :: t.bindings)
 
 let remediation_log t = List.rev t.remediation_log_rev
+let flight_dumps t = List.rev t.dumps_rev
+
+let dump_trigger d : Flight_dump.trigger = (d.d_rule, d.d_time, d.d_detail)
+let dump_debrief d = Flight_dump.debrief ~alert:(dump_trigger d) ~faults:d.d_faults d.d_snapshot
+
+let dump_chrome_json d =
+  Flight_dump.to_chrome_json ~alert:(dump_trigger d) ~faults:d.d_faults d.d_snapshot
 let events t = Alerts.events t.alerts
 let fired_total t = Alerts.fired_total t.alerts
 let firing t = Alerts.firing t.alerts
@@ -351,5 +434,17 @@ let report t =
             (Printf.sprintf "%10.3fms %-28s %s -> %s\n" (Time.to_float_ms time) rule
                (Remediate.label action) outcome))
         log);
+    (match flight_dumps t with
+    | [] -> ()
+    | dumps ->
+      Buffer.add_string buf "== flight dumps ==\n";
+      List.iter
+        (fun d ->
+          Buffer.add_string buf
+            (Printf.sprintf "%10.3fms %-28s %d records in last %.3fms\n"
+               (Time.to_float_ms d.d_time) d.d_rule
+               (Flight.snap_length d.d_snapshot)
+               (Time.to_float_ms d.d_snapshot.Flight.snap_window)))
+        dumps);
     Buffer.contents buf
   end

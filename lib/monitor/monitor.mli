@@ -29,6 +29,17 @@ open Reflex_telemetry
 
 type t
 
+(** One alert-triggered forensic dump: the {!Reflex_obs.Flight} ring
+    snapshot frozen at the tick where the alert fired, with the firing
+    rule and the fault windows known at that instant. *)
+type flight_dump = private {
+  d_rule : string;
+  d_time : Time.t;
+  d_detail : string;
+  d_snapshot : Reflex_obs.Flight.snapshot;
+  d_faults : Reflex_obs.Flight_dump.fault_window list;
+}
+
 (** Defaults: sampling [interval] 1ms, ring [capacity] 512 windows,
     SLO [target] 0.999, burn windows [burn_short = (1, 14.0)] and
     [burn_long = (10, 6.0)] (windows, factor), [budget_period] 1s,
@@ -36,7 +47,17 @@ type t
     violating fraction), [knee_frac] 0.8 of device token capacity,
     remediation [cooldown] 5ms per rule.  [fault_lookback] bounds how
     far back a fired alert searches for fault windows to name in its
-    detail (default: the long burn window). *)
+    detail (default: the long burn window).
+
+    When the telemetry carries an armed flight recorder
+    ([Telemetry.set_flight]), every alert edge is mirrored into the ring
+    and each {e fired} edge freezes the last [dump_window] (default 5ms)
+    of flight records as a forensic dump, capped at [max_dumps]
+    (default 4) per run.  When the telemetry carries an armed profiler
+    ([Telemetry.set_profiler]), per-subsystem [obs/prof/<sub>/wall_ms]
+    and [.../minor_words] sources are sampled into the Tsdb on every
+    window close — host wall-clock values, for export only, never fed to
+    alert rules. *)
 val create :
   ?enabled:bool ->
   ?interval:Time.t ->
@@ -50,6 +71,8 @@ val create :
   ?knee_frac:float ->
   ?cooldown:Time.t ->
   ?fault_lookback:Time.t ->
+  ?dump_window:Time.t ->
+  ?max_dumps:int ->
   server:Server.t ->
   telemetry:Telemetry.t ->
   unit ->
@@ -87,6 +110,20 @@ val firing : t -> string list
 
 (** Per-tenant budgets, sorted by tenant id. *)
 val budgets : t -> (int * Budget.t) list
+
+(** {1 Flight dumps} *)
+
+(** Alert-triggered dumps in firing order (empty without an armed flight
+    recorder). *)
+val flight_dumps : t -> flight_dump list
+
+(** JSON forensic debrief of one dump, cross-referenced to its trigger
+    alert and fault windows ({!Reflex_obs.Flight_dump.debrief}). *)
+val dump_debrief : flight_dump -> string
+
+(** Chrome [trace_event] render of one dump
+    ({!Reflex_obs.Flight_dump.to_chrome_json}). *)
+val dump_chrome_json : flight_dump -> string
 
 (** {1 Exports} *)
 

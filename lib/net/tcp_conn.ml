@@ -26,6 +26,9 @@ type 'a t = {
   c_to_server : Telemetry.counter; (* net/to_server_msgs *)
   c_to_client : Telemetry.counter; (* net/to_client_msgs *)
   c_ooo : Telemetry.counter; (* net/ooo_buffered *)
+  (* Cost profiler (lib/obs), cached off the telemetry instance; scopes
+     the send path under the Net bucket.  Disabled by default. *)
+  prof : Reflex_obs.Profiler.t;
 }
 
 let make_endpoint () =
@@ -49,6 +52,7 @@ let connect ?(telemetry = Telemetry.disabled) fabric ~client ~server =
     c_to_server = Telemetry.counter telemetry "net/to_server_msgs";
     c_to_client = Telemetry.counter telemetry "net/to_client_msgs";
     c_ooo = Telemetry.counter telemetry "net/ooo_buffered";
+    prof = Telemetry.profiler telemetry;
   }
 
 let deliver ep msg size =
@@ -88,13 +92,15 @@ let arrive t ep seq msg size =
   end
 
 let send t ~src ~dst ~ep ~size msg =
+  Reflex_obs.Profiler.enter t.prof Reflex_obs.Profiler.Subsystem.Net;
   let sim = Fabric.sim t.fabric in
   let seq = ep.send_seq in
   ep.send_seq <- seq + 1;
   let tx = Stack_model.tx_delay (Fabric.host_stack src) (Sim.prng sim) in
   ignore
     (Sim.after sim tx (fun () ->
-         Fabric.transmit t.fabric ~src ~dst ~bytes:size (fun () -> arrive t ep seq msg size)))
+         Fabric.transmit t.fabric ~src ~dst ~bytes:size (fun () -> arrive t ep seq msg size)));
+  Reflex_obs.Profiler.leave t.prof Reflex_obs.Profiler.Subsystem.Net
 
 let send_to_server t ~size msg =
   if t.tel_on then Telemetry.incr t.c_to_server;

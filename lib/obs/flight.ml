@@ -1,0 +1,228 @@
+open Reflex_engine
+
+(* Always-on flight recorder.  The write path is the whole point: five
+   array stores and a cursor bump into preallocated parallel arrays, no
+   boxing, no branches beyond the single [on] check — cheap enough to run
+   unconditionally under the scheduler round and the dataplane cycle.
+   Everything stringy (fault labels, alert rule names) goes through the
+   cold-path intern table so the hot record carries only ints/floats. *)
+
+module Kind = struct
+  type t =
+    | Refill
+    | Grant
+    | Throttle
+    | Deficit
+    | Donate
+    | Bucket_take
+    | Bucket_reset
+    | Idle_drain
+    | Queue_depth
+    | Demote
+    | Fault_on
+    | Fault_off
+    | Alert_fire
+    | Alert_resolve
+    | Remediate
+    | Mark
+
+  let count = 16
+
+  let to_int = function
+    | Refill -> 0
+    | Grant -> 1
+    | Throttle -> 2
+    | Deficit -> 3
+    | Donate -> 4
+    | Bucket_take -> 5
+    | Bucket_reset -> 6
+    | Idle_drain -> 7
+    | Queue_depth -> 8
+    | Demote -> 9
+    | Fault_on -> 10
+    | Fault_off -> 11
+    | Alert_fire -> 12
+    | Alert_resolve -> 13
+    | Remediate -> 14
+    | Mark -> 15
+
+  let of_int = function
+    | 0 -> Refill
+    | 1 -> Grant
+    | 2 -> Throttle
+    | 3 -> Deficit
+    | 4 -> Donate
+    | 5 -> Bucket_take
+    | 6 -> Bucket_reset
+    | 7 -> Idle_drain
+    | 8 -> Queue_depth
+    | 9 -> Demote
+    | 10 -> Fault_on
+    | 11 -> Fault_off
+    | 12 -> Alert_fire
+    | 13 -> Alert_resolve
+    | 14 -> Remediate
+    | 15 -> Mark
+    | n -> invalid_arg (Printf.sprintf "Flight.Kind.of_int: %d" n)
+
+  let name = function
+    | Refill -> "refill"
+    | Grant -> "grant"
+    | Throttle -> "throttle"
+    | Deficit -> "deficit"
+    | Donate -> "donate"
+    | Bucket_take -> "bucket_take"
+    | Bucket_reset -> "bucket_reset"
+    | Idle_drain -> "idle_drain"
+    | Queue_depth -> "queue_depth"
+    | Demote -> "demote"
+    | Fault_on -> "fault_on"
+    | Fault_off -> "fault_off"
+    | Alert_fire -> "alert_fire"
+    | Alert_resolve -> "alert_resolve"
+    | Remediate -> "remediate"
+    | Mark -> "mark"
+
+  let a_is_label = function
+    | Fault_on | Fault_off | Alert_fire | Alert_resolve | Remediate | Mark -> true
+    | Refill | Grant | Throttle | Deficit | Donate | Bucket_take | Bucket_reset
+    | Idle_drain | Queue_depth | Demote ->
+        false
+end
+
+type t = {
+  on : bool;
+  capacity : int;
+  times : int64 array;
+  kinds : int array;
+  aa : int array;
+  bb : int array;
+  vv : float array;
+  mutable next : int;
+  mutable total : int;
+  (* Cold-path label interning: ids are handed out in first-use order
+     (deterministic); [names] is the id -> string view. *)
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n_labels : int;
+}
+
+let make ~enabled ~capacity =
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  {
+    on = enabled;
+    capacity;
+    times = Array.make capacity 0L;
+    kinds = Array.make capacity 0;
+    aa = Array.make capacity 0;
+    bb = Array.make capacity 0;
+    vv = Array.make capacity 0.0;
+    next = 0;
+    total = 0;
+    ids = Hashtbl.create 16;
+    names = Array.make 8 "";
+    n_labels = 0;
+  }
+
+let disabled = make ~enabled:false ~capacity:1
+let create ?(enabled = true) ?(capacity = 1 lsl 15) () = make ~enabled ~capacity
+let enabled t = t.on [@@inline]
+let capacity t = t.capacity
+let total t = t.total
+let retained t = if t.total < t.capacity then t.total else t.capacity
+let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
+
+let record t ~now ~kind ~a ~b ~v =
+  if t.on then begin
+    let i = t.next in
+    t.times.(i) <- now;
+    t.kinds.(i) <- Kind.to_int kind;
+    t.aa.(i) <- a;
+    t.bb.(i) <- b;
+    t.vv.(i) <- v;
+    let j = i + 1 in
+    t.next <- (if j = t.capacity then 0 else j);
+    t.total <- t.total + 1
+  end
+[@@inline]
+
+(* Cold path: first use of a label copies it into the id table. *)
+let intern t label =
+  if not t.on then -1
+  else
+    match Hashtbl.find_opt t.ids label with
+    | Some id -> id
+    | None ->
+        let id = t.n_labels in
+        if id = Array.length t.names then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit t.names 0 bigger 0 id;
+          t.names <- bigger
+        end;
+        t.names.(id) <- label;
+        t.n_labels <- id + 1;
+        Hashtbl.add t.ids label id;
+        id
+
+let label t id = if id >= 0 && id < t.n_labels then t.names.(id) else "?"
+
+let iter t f =
+  let n = retained t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  for k = 0 to n - 1 do
+    let i = start + k in
+    let i = if i >= t.capacity then i - t.capacity else i in
+    f ~time:t.times.(i) ~kind:(Kind.of_int t.kinds.(i)) ~a:t.aa.(i) ~b:t.bb.(i)
+      ~v:t.vv.(i)
+  done
+
+type snapshot = {
+  snap_now : Time.t;
+  snap_window : Time.t;
+  snap_total : int;
+  snap_dropped : int;
+  s_times : Time.t array;
+  s_kinds : int array;
+  s_a : int array;
+  s_b : int array;
+  s_v : float array;
+  s_labels : string array;
+}
+
+let snapshot t ~now ~window =
+  let cutoff = Time.sub now window in
+  (* First pass counts the matching tail; records are time-ordered, so the
+     match set is a suffix of the oldest-first walk.  Boundary records
+     (time exactly [now - window]) are included. *)
+  let n = ref 0 in
+  iter t (fun ~time ~kind:_ ~a:_ ~b:_ ~v:_ -> if Time.(time >= cutoff) then incr n);
+  let n = !n in
+  let s_times = Array.make (max n 1) 0L in
+  let s_kinds = Array.make (max n 1) 0 in
+  let s_a = Array.make (max n 1) 0 in
+  let s_b = Array.make (max n 1) 0 in
+  let s_v = Array.make (max n 1) 0.0 in
+  let j = ref 0 in
+  iter t (fun ~time ~kind ~a ~b ~v ->
+      if Time.(time >= cutoff) then begin
+        s_times.(!j) <- time;
+        s_kinds.(!j) <- Kind.to_int kind;
+        s_a.(!j) <- a;
+        s_b.(!j) <- b;
+        s_v.(!j) <- v;
+        incr j
+      end);
+  {
+    snap_now = now;
+    snap_window = window;
+    snap_total = t.total;
+    snap_dropped = dropped t;
+    s_times = (if n = 0 then [||] else s_times);
+    s_kinds = (if n = 0 then [||] else s_kinds);
+    s_a = (if n = 0 then [||] else s_a);
+    s_b = (if n = 0 then [||] else s_b);
+    s_v = (if n = 0 then [||] else s_v);
+    s_labels = Array.sub t.names 0 t.n_labels;
+  }
+
+let snap_length s = Array.length s.s_times

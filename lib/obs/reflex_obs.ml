@@ -1,0 +1,5 @@
+(* Re-export umbrella for the observability forensics library. *)
+
+module Flight = Flight
+module Flight_dump = Flight_dump
+module Profiler = Profiler

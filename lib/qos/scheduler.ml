@@ -1,5 +1,7 @@
 open Reflex_engine
 open Reflex_telemetry
+module Flight = Reflex_obs.Flight
+module Profiler = Reflex_obs.Profiler
 
 type 'a submission = { tenant_id : int; cost : float; payload : 'a }
 
@@ -13,6 +15,12 @@ type 'a t = {
      every record site below is skipped by a single immutable-bool read
      and the scheduling round stays allocation-free. *)
   telemetry : Telemetry.t;
+  (* Always-on flight recorder and cost profiler, cached off the telemetry
+     instance at creation (attach via [Telemetry.set_flight] /
+     [set_profiler] before building the world).  Both default to the
+     shared disabled instances, costing one immutable-bool read per site. *)
+  flight : Flight.t;
+  profiler : Profiler.t;
   (* Tenant sets live in growable arrays: the first [lc_n]/[be_n] slots
      are the members, in insertion order.  Appends are amortized O(1)
      (the old [t.lc @ [tenant]] was O(n) per add, O(n^2) for a fleet). *)
@@ -52,6 +60,8 @@ let create ?(neg_limit = -50.0) ?(donate_fraction = 0.9) ~global ~thread_id
     thread_id;
     notify_control_plane;
     telemetry;
+    flight = Telemetry.flight telemetry;
+    profiler = Telemetry.profiler telemetry;
     lc = [||];
     lc_n = 0;
     be = [||];
@@ -208,6 +218,7 @@ let submit_admissible tenant ~submit =
   !n
 
 let schedule t ~now ~submit =
+  Profiler.enter t.profiler Profiler.Subsystem.Qos;
   let time_delta =
     match t.prev_sched_time with
     | None -> 0.0
@@ -215,8 +226,12 @@ let schedule t ~now ~submit =
   in
   t.prev_sched_time <- Some now;
   (* Read once; telemetry-off rounds pay exactly these immutable-bool
-     tests and stay allocation-free. *)
+     tests and stay allocation-free.  The flight recorder has its own
+     bit: it stays armed even when full telemetry is off, and its record
+     sites are plain array stores (see lib/obs/flight.ml). *)
   let tel_on = Telemetry.enabled t.telemetry in
+  let fl = t.flight in
+  let fl_on = Flight.enabled fl in
   let submitted = ref 0 in
   (* Latency-critical tenants first (Algorithm 1, lines 4-12). *)
   for i = 0 to t.lc_n - 1 do
@@ -225,25 +240,43 @@ let schedule t ~now ~submit =
     Tenant.add_tokens tenant grant;
     Tenant.record_grant tenant grant;
     t.lc_generated <- t.lc_generated +. grant;
+    if fl_on then
+      Flight.record fl ~now ~kind:Flight.Kind.Refill ~a:(Tenant.id tenant) ~b:t.thread_id
+        ~v:grant;
     if Tenant.tokens tenant < t.neg_limit then begin
       t.notify_control_plane (Tenant.id tenant);
+      if fl_on then
+        Flight.record fl ~now ~kind:Flight.Kind.Deficit ~a:(Tenant.id tenant) ~b:t.thread_id
+          ~v:(Tenant.tokens tenant);
       if tel_on then
         Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
           Telemetry.Decision.Deficit_limit ~amount:t.neg_limit
           ~tokens_after:(Tenant.tokens tenant)
     end;
-    submitted := !submitted + submit_while tenant ~floor:t.neg_limit ~submit;
+    let n_lc = submit_while tenant ~floor:t.neg_limit ~submit in
+    submitted := !submitted + n_lc;
+    if fl_on && n_lc > 0 then
+      Flight.record fl ~now ~kind:Flight.Kind.Grant ~a:(Tenant.id tenant) ~b:n_lc
+        ~v:(Tenant.tokens tenant);
     (* Demand left after the submit loop means the balance hit the floor:
        the scheduler is actively throttling this LC tenant. *)
-    if tel_on && Tenant.demand tenant > 0.0 then
-      Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
-        Telemetry.Decision.Throttled ~amount:(Tenant.demand tenant)
-        ~tokens_after:(Tenant.tokens tenant);
+    if Tenant.demand tenant > 0.0 then begin
+      if fl_on then
+        Flight.record fl ~now ~kind:Flight.Kind.Throttle ~a:(Tenant.id tenant) ~b:t.thread_id
+          ~v:(Tenant.demand tenant);
+      if tel_on then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Throttled ~amount:(Tenant.demand tenant)
+          ~tokens_after:(Tenant.tokens tenant)
+    end;
     let pos_limit = Tenant.pos_limit tenant in
     if Tenant.tokens tenant > pos_limit then begin
       let donation = Tenant.tokens tenant *. t.donate_fraction in
       Global_bucket.add t.global donation;
       Tenant.spend_tokens tenant donation;
+      if fl_on then
+        Flight.record fl ~now ~kind:Flight.Kind.Donate ~a:(Tenant.id tenant) ~b:t.thread_id
+          ~v:donation;
       if tel_on then
         Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
           Telemetry.Decision.Donated ~amount:donation ~tokens_after:(Tenant.tokens tenant)
@@ -256,32 +289,61 @@ let schedule t ~now ~submit =
     let grant = Tenant.token_rate tenant *. time_delta in
     Tenant.add_tokens tenant grant;
     if tel_on then Tenant.note_granted tenant grant;
+    if fl_on then
+      Flight.record fl ~now ~kind:Flight.Kind.Refill ~a:(Tenant.id tenant) ~b:t.thread_id
+        ~v:grant;
     let deficit = Tenant.demand tenant -. Tenant.tokens tenant in
     if deficit > 0.0 then begin
       let taken = Global_bucket.try_take t.global deficit in
       Tenant.add_tokens tenant taken;
-      if tel_on && taken > 0.0 then
-        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
-          Telemetry.Decision.Be_bucket_take ~amount:taken ~tokens_after:(Tenant.tokens tenant)
+      if taken > 0.0 then begin
+        if fl_on then
+          Flight.record fl ~now ~kind:Flight.Kind.Bucket_take ~a:(Tenant.id tenant)
+            ~b:t.thread_id ~v:taken;
+        if tel_on then
+          Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+            Telemetry.Decision.Be_bucket_take ~amount:taken
+            ~tokens_after:(Tenant.tokens tenant)
+      end
     end;
-    submitted := !submitted + submit_admissible tenant ~submit;
-    if tel_on && Tenant.demand tenant > 0.0 then
-      Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
-        Telemetry.Decision.Be_starved ~amount:(Tenant.demand tenant)
-        ~tokens_after:(Tenant.tokens tenant);
+    let n_sub = submit_admissible tenant ~submit in
+    submitted := !submitted + n_sub;
+    if fl_on && n_sub > 0 then
+      Flight.record fl ~now ~kind:Flight.Kind.Grant ~a:(Tenant.id tenant) ~b:n_sub
+        ~v:(Tenant.tokens tenant);
+    if Tenant.demand tenant > 0.0 then begin
+      if fl_on then
+        Flight.record fl ~now ~kind:Flight.Kind.Throttle ~a:(Tenant.id tenant) ~b:t.thread_id
+          ~v:(Tenant.demand tenant);
+      if tel_on then
+        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+          Telemetry.Decision.Be_starved ~amount:(Tenant.demand tenant)
+          ~tokens_after:(Tenant.tokens tenant)
+    end;
     (* DRR-inspired: no token hoarding while idle. *)
     if Tenant.tokens tenant > 0.0 && Tenant.demand tenant = 0.0 then begin
       let drained = Tenant.drain_tokens tenant in
       Global_bucket.add t.global drained;
-      if tel_on && drained > 0.0 then
-        Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
-          Telemetry.Decision.Be_idle_drain ~amount:drained ~tokens_after:0.0
+      if drained > 0.0 then begin
+        if fl_on then
+          Flight.record fl ~now ~kind:Flight.Kind.Idle_drain ~a:(Tenant.id tenant)
+            ~b:t.thread_id ~v:drained;
+        if tel_on then
+          Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(Tenant.id tenant)
+            Telemetry.Decision.Be_idle_drain ~amount:drained ~tokens_after:0.0
+      end
     end
   done;
   if n_be > 0 then t.be_cursor <- (t.be_cursor + 1) mod n_be;
   let reset = Global_bucket.mark_round t.global ~thread_id:t.thread_id in
-  if tel_on && reset then
-    Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(-1)
-      Telemetry.Decision.Bucket_reset ~amount:0.0
-      ~tokens_after:(Global_bucket.level t.global);
+  if reset then begin
+    if fl_on then
+      Flight.record fl ~now ~kind:Flight.Kind.Bucket_reset ~a:(-1) ~b:t.thread_id
+        ~v:(Global_bucket.level t.global);
+    if tel_on then
+      Telemetry.decision t.telemetry ~now ~thread:t.thread_id ~tenant:(-1)
+        Telemetry.Decision.Bucket_reset ~amount:0.0
+        ~tokens_after:(Global_bucket.level t.global)
+  end;
+  Profiler.leave t.profiler Profiler.Subsystem.Qos;
   !submitted

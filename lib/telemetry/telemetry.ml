@@ -1,5 +1,7 @@
 open Reflex_engine
 open Reflex_stats
+module Flight = Reflex_obs.Flight
+module Profiler = Reflex_obs.Profiler
 
 (* The observability core.  One instance per simulated world.  The single
    design rule: when [enabled] is false (the shared {!disabled} value),
@@ -227,6 +229,19 @@ type slo_target = { st_latency_critical : bool; st_latency_us : int }
 
 type fault_event = { f_time : Time.t; f_label : string; f_active : bool }
 
+(* Causal edges between spans: [Follows_from] chains retry attempts of one
+   logical operation (distinct req_ids), [Child_of] hangs a derived span
+   under its parent.  Links are rare (retries, remediations), so a list is
+   fine — the hot request path never touches them. *)
+type link_kind = Follows_from | Child_of
+
+type link = {
+  l_time : Time.t;
+  l_kind : link_kind;
+  l_src : int * int64; (* (tenant, req_id) *)
+  l_dst : int * int64;
+}
+
 type t = {
   enabled : bool;
   spans : Span_ring.t;
@@ -255,6 +270,13 @@ type t = {
      per request. *)
   mutable tlat : Hdr_histogram.t array;
   mutable faults_rev : fault_event list; (* injected-fault marks, newest first *)
+  (* lib/obs attachments: the always-on flight recorder rides on the
+     telemetry instance so every layer that already threads a [t] can
+     reach it; both default to the shared disabled instances. *)
+  mutable flight : Flight.t;
+  mutable profiler : Profiler.t;
+  mutable links_rev : link list; (* causal span links, newest first *)
+  mutable remediations_rev : (Time.t * string * string) list; (* (time, rule, outcome) *)
 }
 
 (* Shared sinks handed out by the disabled instance; guarded record
@@ -280,6 +302,10 @@ let make ~enabled ~span_capacity ~decision_capacity =
     tenant_slos = Hashtbl.create 16;
     tlat = [||];
     faults_rev = [];
+    flight = Flight.disabled;
+    profiler = Profiler.disabled;
+    links_rev = [];
+    remediations_rev = [];
   }
 
 let disabled = make ~enabled:false ~span_capacity:1 ~decision_capacity:1
@@ -288,6 +314,16 @@ let create ?(span_capacity = 1 lsl 16) ?(decision_capacity = 4096) () =
   make ~enabled:true ~span_capacity ~decision_capacity
 
 let enabled t = t.enabled [@@inline]
+
+(* ---------------- lib/obs attachments ---------------- *)
+
+let flight t = t.flight [@@inline]
+
+let set_flight t fl =
+  if not t.enabled then invalid_arg "Telemetry.set_flight: disabled instance";
+  t.flight <- fl
+
+let profiler t = t.profiler [@@inline]
 
 (* ---------------- spans ---------------- *)
 
@@ -346,6 +382,26 @@ let unregister t name =
     Hashtbl.remove t.metrics name;
     t.reg_dirty <- true
   end
+
+(* Attaching a profiler also publishes its accumulators as gauges, so the
+   per-subsystem cost shares flow through the regular sampler into the
+   Tsdb/Prometheus exporters with no extra plumbing.  The values are host
+   wall time — nondeterministic by design (see Profiler's contract); they
+   are only present when a profiler is explicitly attached. *)
+let set_profiler t p =
+  if not t.enabled then invalid_arg "Telemetry.set_profiler: disabled instance";
+  t.profiler <- p;
+  if Profiler.enabled p then
+    List.iter
+      (fun sub ->
+        let n = Profiler.Subsystem.name sub in
+        register_gauge t
+          (Printf.sprintf "obs/prof/%s/wall_ms" n)
+          (fun () -> Profiler.wall_s p sub *. 1e3);
+        register_gauge t
+          (Printf.sprintf "obs/prof/%s/minor_words" n)
+          (fun () -> Profiler.minor_words p sub))
+      Profiler.Subsystem.all
 
 let histogram t name =
   if not t.enabled then dummy_hist
@@ -423,10 +479,38 @@ let rec tenant_latency_hist t ~tenant =
 let record_tenant_latency t ~tenant lat =
   if t.enabled then Hdr_histogram.record (tenant_latency_hist t ~tenant) lat
 
+(* ---------------- causal span links ---------------- *)
+
+let link t ~now ~kind ~src_tenant ~src_req ~dst_tenant ~dst_req =
+  if t.enabled then
+    t.links_rev <-
+      { l_time = now; l_kind = kind; l_src = (src_tenant, src_req); l_dst = (dst_tenant, dst_req) }
+      :: t.links_rev
+
+let links t = List.rev_map (fun l -> (l.l_time, l.l_kind, l.l_src, l.l_dst)) t.links_rev
+
+let remediation_mark t ~now ~rule ~outcome =
+  if t.enabled then begin
+    t.remediations_rev <- (now, rule, outcome) :: t.remediations_rev;
+    if Flight.enabled t.flight then
+      Flight.record t.flight ~now ~kind:Flight.Kind.Remediate
+        ~a:(Flight.intern t.flight rule) ~b:(Flight.intern t.flight outcome) ~v:0.0
+  end
+
+let remediation_log t = List.rev t.remediations_rev
+
 (* ---------------- fault marks ---------------- *)
 
 let fault_mark t ~now ~label ~active =
-  if t.enabled then t.faults_rev <- { f_time = now; f_label = label; f_active = active } :: t.faults_rev
+  if t.enabled then begin
+    t.faults_rev <- { f_time = now; f_label = label; f_active = active } :: t.faults_rev;
+    (* Mirror the transition into the flight ring so a forensic dump can
+       frame the fault window without consulting telemetry. *)
+    if Flight.enabled t.flight then
+      Flight.record t.flight ~now
+        ~kind:(if active then Flight.Kind.Fault_on else Flight.Kind.Fault_off)
+        ~a:(Flight.intern t.flight label) ~b:0 ~v:0.0
+  end
 
 let fault_log t =
   List.rev_map (fun e -> (e.f_time, e.f_label, e.f_active)) t.faults_rev
@@ -513,6 +597,7 @@ let grow_samples t =
 
 let sample t ~now =
   if t.enabled then begin
+    Profiler.enter t.profiler Profiler.Subsystem.Telemetry;
     if t.reg_dirty then refresh_registry t;
     if t.samp_len = Array.length t.samp_times then grow_samples t;
     let stride = Array.length t.reg_names in
@@ -522,7 +607,8 @@ let sample t ~now =
       t.samp_vals.(base + i) <- metric_value t.reg_metrics.(i)
     done;
     t.samp_len <- t.samp_len + 1;
-    t.sample_count <- t.sample_count + 1
+    t.sample_count <- t.sample_count + 1;
+    Profiler.leave t.profiler Profiler.Subsystem.Telemetry
   end
 
 let start_sampler t sim ?(interval = Time.ms 1) () =

@@ -75,6 +75,28 @@ val create : ?span_capacity:int -> ?decision_capacity:int -> unit -> t
 
 val enabled : t -> bool
 
+(** {1 lib/obs attachments}
+
+    The always-on flight recorder and the cost profiler (both from
+    [lib/obs]) ride on the telemetry instance so every layer that already
+    threads a [t] can reach them.  Both default to the shared disabled
+    instances.  Attach {e before} building the world: the scheduler and
+    dataplane cache the handles at creation time. *)
+
+(** The attached flight recorder ([Reflex_obs.Flight.disabled] unless set). *)
+val flight : t -> Reflex_obs.Flight.t
+
+(** Attach a flight recorder.  Raises [Invalid_argument] on the shared
+    {!disabled} instance (which must never be mutated). *)
+val set_flight : t -> Reflex_obs.Flight.t -> unit
+
+val profiler : t -> Reflex_obs.Profiler.t
+
+(** Attach a cost profiler and publish its per-subsystem wall/minor-words
+    accumulators as [obs/prof/...] gauges (sampled on daemon ticks, hence
+    visible to the Tsdb and Prometheus exporters).  Raises on {!disabled}. *)
+val set_profiler : t -> Reflex_obs.Profiler.t -> unit
+
 (** {1 Lifecycle spans} *)
 
 (** [span t ~now ~tenant ~req_id stage] records one hop.  Request identity
@@ -163,6 +185,40 @@ val tenants_with_slo : t -> int list
 val tenant_latency_hist : t -> tenant:int -> Hdr_histogram.t
 
 val record_tenant_latency : t -> tenant:int -> int64 -> unit
+
+(** {1 Causal span links}
+
+    Edges between spans turn the flat ring into trees: retry attempt N+1
+    {e follows from} attempt N (a new req_id for the same logical
+    operation), and derived work hangs {e under} its parent.  Links are
+    rare events (retries, remediations) and never touch the hot path. *)
+
+type link_kind =
+  | Follows_from  (** same logical op continued under a new req_id *)
+  | Child_of  (** derived span nested under its parent *)
+
+(** [link t ~now ~kind ~src_tenant ~src_req ~dst_tenant ~dst_req] records
+    a causal edge src -> dst between two (tenant, req_id) spans. *)
+val link :
+  t ->
+  now:Time.t ->
+  kind:link_kind ->
+  src_tenant:int ->
+  src_req:int64 ->
+  dst_tenant:int ->
+  dst_req:int64 ->
+  unit
+
+(** Chronological [(time, kind, src, dst)] edges. *)
+val links : t -> (Time.t * link_kind * (int * int64) * (int * int64)) list
+
+(** [remediation_mark t ~now ~rule ~outcome] timestamps an applied
+    remediation (also mirrored into the flight ring), so degrade actions
+    appear in traces linked to the alert rule that bound them. *)
+val remediation_mark : t -> now:Time.t -> rule:string -> outcome:string -> unit
+
+(** Chronological [(time, rule, outcome)] marks. *)
+val remediation_log : t -> (Time.t * string * string) list
 
 (** {1 Fault marks}
 

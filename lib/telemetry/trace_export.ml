@@ -156,6 +156,55 @@ let component_report tel =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Causal span trees                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Chain Follows_from links into per-root attempt chains: each chain is
+   [(tenant, [req_id of attempt 0; attempt 1; ...])].  Links are rare
+   (one per client retry), so the list walk is fine. *)
+let retry_chains tel =
+  let links =
+    List.filter
+      (fun (_, kind, _, _) -> kind = Telemetry.Follows_from)
+      (Telemetry.links tel)
+  in
+  let next = Hashtbl.create 16 and is_dst = Hashtbl.create 16 in
+  List.iter
+    (fun (_, _, src, dst) ->
+      Hashtbl.replace next src dst;
+      Hashtbl.replace is_dst dst ())
+    links;
+  (* Roots in link-record order (chronological, hence deterministic). *)
+  links
+  |> List.filter_map (fun (_, _, src, _) ->
+         if Hashtbl.mem is_dst src then None
+         else
+           let rec follow key acc =
+             match Hashtbl.find_opt next key with
+             | Some dst -> follow dst (snd dst :: acc)
+             | None -> List.rev acc
+           in
+           let tenant, root = src in
+           Some (tenant, follow src [ root ]))
+
+let retry_tree_report ?(top = 20) tel =
+  let chains = retry_chains tel in
+  let n = List.length chains in
+  let longest = List.fold_left (fun acc (_, reqs) -> max acc (List.length reqs)) 0 chains in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== retry span trees (%d chains, longest %d attempts; first %d) ==\n" n
+       longest (min top n));
+  List.iteri
+    (fun i (tenant, reqs) ->
+      if i < top then
+        Buffer.add_string buf
+          (Printf.sprintf "t%-4d %d attempts: %s\n" tenant (List.length reqs)
+             (String.concat " ~> " (List.map Int64.to_string reqs))))
+    chains;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Chrome trace_event JSON                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -244,6 +293,46 @@ let to_chrome_json ?(extra = []) tel =
         add_json_string buf label;
         Buffer.add_string buf "}}")
       windows);
+  (* Causal links as Chrome flow events: a ["ph":"s"] start anchored at
+     the source request's row and a matching ["ph":"f"] finish on the
+     destination's, sharing one flow id, so retry chains and remediation
+     causality render as arrows between the linked spans. *)
+  List.iteri
+    (fun id (time, kind, src, dst) ->
+      let name =
+        match kind with
+        | Telemetry.Follows_from -> "retry"
+        | Telemetry.Child_of -> "child"
+      in
+      let src_tenant, src_req = src in
+      let dst_tenant, dst_req = dst in
+      let ts = Printf.sprintf "%.3f" (Time.to_float_us time) in
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf name;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"cat\":\"link\",\"ph\":\"s\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%Ld}"
+           id ts src_tenant src_req);
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf name;
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"cat\":\"link\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%Ld}"
+           id ts dst_tenant dst_req))
+    (Telemetry.links tel);
+  (* Remediation applications as instants on the fault/alert row. *)
+  List.iter
+    (fun (time, rule, outcome) ->
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf ("remediate:" ^ rule);
+      Buffer.add_string buf
+        (Printf.sprintf ",\"cat\":\"remediation\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":0,\"tid\":0,\"args\":{\"outcome\":"
+           (Time.to_float_us time));
+      add_json_string buf outcome;
+      Buffer.add_string buf "}}")
+    (Telemetry.remediation_log tel);
   (* Caller-supplied events (e.g. lib/monitor's alert-timeline instants):
      each element must be one complete JSON trace_event object. *)
   List.iter

@@ -51,6 +51,20 @@ val component_summary : Telemetry.t -> component_stat array
 
 val component_report : Telemetry.t -> string
 
+(** {1 Causal span trees}
+
+    [Follows_from] links (recorded by the client when a timed-out
+    attempt is re-issued under a fresh req_id) chained into per-root
+    attempt sequences. *)
+
+(** [(tenant, [attempt-0 req_id; attempt-1; ...])] per chain, in
+    first-link order (deterministic). *)
+val retry_chains : Telemetry.t -> (int * int64 list) list
+
+(** Chain listing capped at [top] (default 20) with total/longest
+    counts in the header. *)
+val retry_tree_report : ?top:int -> Telemetry.t -> string
+
 (** Latest timestamp observed anywhere in the telemetry (spans, fault
     marks, samples) — the effective end of the trace. *)
 val last_time : Telemetry.t -> Time.t
@@ -61,9 +75,11 @@ val last_time : Telemetry.t -> Time.t
     ["cat":"fault"] duration event per injected-fault window (pid 0 /
     tid 0; windows still open at export close at {!last_time}) so fault
     injections visually align with the latency spikes they caused.
-    [extra] appends caller-rendered trace_event objects (one complete
-    JSON object per element) — lib/monitor uses it for alert-timeline
-    instants. *)
+    Causal links render as flow arrows (["ph":"s"]/["ph":"f"] pairs,
+    cat ["link"]) between the linked requests' rows, and remediation
+    applications as cat ["remediation"] instants.  [extra] appends
+    caller-rendered trace_event objects (one complete JSON object per
+    element) — lib/monitor uses it for alert-timeline instants. *)
 val to_chrome_json : ?extra:string list -> Telemetry.t -> string
 
 val write_chrome_json : ?extra:string list -> Telemetry.t -> string -> unit

@@ -534,13 +534,15 @@ let test_sim_live_pending_excludes_cancelled () =
   Alcotest.(check int) "only the live two fired" 2 (Sim.events_executed sim)
 
 let test_sim_backend_selection () =
-  Alcotest.(check bool) "default is heap" true (Sim.backend (Sim.create ()) = Sim.Heap);
-  let explicit = Sim.create ~backend:Sim.Wheel () in
-  Alcotest.(check bool) "explicit wheel" true (Sim.backend explicit = Sim.Wheel);
-  Sim.set_default_backend Sim.Wheel;
-  let implicit = Sim.create () in
+  Alcotest.(check bool) "default is wheel" true (Sim.backend (Sim.create ()) = Sim.Wheel);
+  Alcotest.(check bool) "getter agrees" true (Sim.get_default_backend () = Sim.Wheel);
+  let explicit = Sim.create ~backend:Sim.Heap () in
+  Alcotest.(check bool) "explicit heap" true (Sim.backend explicit = Sim.Heap);
+  let saved = Sim.get_default_backend () in
   Sim.set_default_backend Sim.Heap;
-  Alcotest.(check bool) "default follows selection" true (Sim.backend implicit = Sim.Wheel)
+  let implicit = Sim.create () in
+  Sim.set_default_backend saved;
+  Alcotest.(check bool) "default follows selection" true (Sim.backend implicit = Sim.Heap)
 
 let test_sim_wheel_backend_runs () =
   let sim = Sim.create ~backend:Sim.Wheel () in

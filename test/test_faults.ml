@@ -229,14 +229,15 @@ let test_chaos_deterministic_and_resilient () =
    selection changes the event-queue datapath, never the event order. *)
 let test_chaos_backend_equivalence () =
   let seed = 42L in
-  let heap = Chaos.render ~mode:Common.Quick ~seed () in
-  Sim.set_default_backend Sim.Wheel;
-  let wheel =
-    Fun.protect
-      ~finally:(fun () -> Sim.set_default_backend Sim.Heap)
-      (fun () -> Chaos.render ~mode:Common.Quick ~seed ())
-  in
-  Alcotest.(check bool) "wheel chaos render == heap" true (String.equal heap wheel)
+  let saved = Sim.get_default_backend () in
+  Fun.protect
+    ~finally:(fun () -> Sim.set_default_backend saved)
+    (fun () ->
+      Sim.set_default_backend Sim.Heap;
+      let heap = Chaos.render ~mode:Common.Quick ~seed () in
+      Sim.set_default_backend Sim.Wheel;
+      let wheel = Chaos.render ~mode:Common.Quick ~seed () in
+      Alcotest.(check bool) "wheel chaos render == heap" true (String.equal heap wheel))
 
 let suite =
   [
