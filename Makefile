@@ -7,9 +7,11 @@
 # (scripted fault plan + determinism verification), the monitor
 # smoke (alerting acceptance + bit-reproducible alert timeline) and the
 # obs smoke (alert-triggered flight-recorder dump, byte-identical
-# across reruns/parallelism/backends).
+# across reruns/parallelism/backends) and the rack smoke (two-layer
+# scheduler bakeoff + migration, byte-identical across reruns,
+# parallelism and backends).
 
-.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke obs-smoke check trace chaos monitor obs bench clean
+.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke obs-smoke rack-smoke check trace chaos monitor obs rack bench clean
 
 all: build
 
@@ -58,6 +60,18 @@ obs-smoke: build
 	@grep -q "dump names its trigger alert                 PASS" _build/obs_smoke.out
 	@echo "obs smoke OK: forensic dump names its alert, bytes identical across backends"
 
+# Rack-scale scheduling acceptance: the policy bakeoff lands with po2c
+# beating random and the oracle on top, skew-driven migration fires and
+# helps, and the whole render is byte-identical across same-seed reruns,
+# serial vs --jobs 2, and heap vs wheel event backends.
+rack-smoke: build
+	dune exec bin/reflex_sim.exe -- rack > _build/rack_smoke.out
+	@grep -q "RACK OK" _build/rack_smoke.out
+	@grep -q "same-seed rerun byte-identical: true" _build/rack_smoke.out
+	@grep -q "serial vs --jobs 2 byte-identical: true" _build/rack_smoke.out
+	@grep -q "heap vs wheel backends byte-identical: true" _build/rack_smoke.out
+	@echo "rack smoke OK: bakeoff checks pass, migration live, output byte-identical"
+
 check: build
 	$(MAKE) lint
 	dune runtest
@@ -65,6 +79,7 @@ check: build
 	$(MAKE) chaos-smoke
 	$(MAKE) monitor-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) rack-smoke
 
 # Canonical telemetry scenario: per-request latency breakdowns, SLO
 # audit, scheduler decision log, Chrome trace JSON.
@@ -83,6 +98,10 @@ monitor: build
 # dump-determinism debrief, cost profile.
 obs: build
 	dune exec bin/reflex_sim.exe -- obs
+
+# Rack-scale scenario: policy bakeoff, migration leg, determinism debrief.
+rack: build
+	dune exec bin/reflex_sim.exe -- rack
 
 # Full figure reproduction + microbenchmarks (quick mode).
 bench: build

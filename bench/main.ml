@@ -261,6 +261,91 @@ let profile_leg () =
     counts;
   print_newline ()
 
+(* ---------------- Rack balancing throughput ---------------- *)
+
+(* Wall-clock requests/sec through the rack's request-level balancer,
+   one small fixed world per policy (8 servers, 64 tenants with 3-way
+   replica sets, periodic probe refresh): this prices the pick +
+   ingress-charge + dispatch path itself, not the scenario around it.
+   A skew-driven migration micro rides along so the JSON records that
+   online migration stays live. *)
+
+let rack_results : (string * int * float) list ref = ref []
+(* (policy, balanced requests, wall requests/sec) *)
+
+let rack_migration_count = ref 0
+
+let rack_leg () =
+  let open Reflex_engine in
+  let open Reflex_rack in
+  let n_servers = 8 and n_tenants = 64 in
+  let window = match !mode with Common.Full -> Time.ms 40 | Common.Quick -> Time.ms 10 in
+  Printf.printf "== rack request-level balancing (%d servers, %d tenants, 3 replicas) ==\n"
+    n_servers n_tenants;
+  List.iter
+    (fun kind ->
+      let sim = Sim.create ~seed:7L () in
+      let rack = Rack.create sim ~n_servers ~policy:kind ~seed:0xBE11L () in
+      let slo = Common.lc_slo ~latency_us:300 ~iops:2000 ~read_pct:100 in
+      for id = 1 to n_tenants do
+        ignore (Rack.add_tenant rack ~id ~slo ~replicas:3)
+      done;
+      let t0 = Sim.now sim in
+      let t_end = Time.add t0 window in
+      Sim.every sim ~every:(Time.us 250) ~until:t_end (fun _ -> Rack.sample_probes rack);
+      for id = 1 to n_tenants do
+        let prng = Prng.create (Int64.of_int ((id * 7919) + 3)) in
+        let phase = Time.of_float_us (Prng.float prng *. 500.0) in
+        ignore
+          (Sim.at sim (Time.add t0 phase) (fun () ->
+               Sim.every sim ~every:(Time.of_float_us 500.0) ~until:t_end (fun _ ->
+                   Rack.dispatch_read rack ~tenant:id
+                     ~lba:(Int64.of_int (Prng.int prng 65536 * 8))
+                     ~len:1024 ())))
+      done;
+      let w0 = Unix.gettimeofday () in
+      ignore (Sim.run sim);
+      let wall = Unix.gettimeofday () -. w0 in
+      let n = Rack.lc_dispatched rack in
+      let rps = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+      rack_results := (Policy.kind_name kind, n, rps) :: !rack_results;
+      Printf.printf "%-12s %8d balanced requests  %12.0f requests/s (wall)\n%!"
+        (Policy.kind_name kind) n rps)
+    Policy.all;
+  (* Migration micro: everything pinned on server 0, detector armed on
+     the probe tick — count migrations actually applied. *)
+  let sim = Sim.create ~seed:9L () in
+  let rack = Rack.create sim ~n_servers ~policy:Policy.Po2c ~seed:0x3160L () in
+  let slo = Common.lc_slo ~latency_us:300 ~iops:2000 ~read_pct:100 in
+  for id = 1 to 24 do
+    ignore (Rack.add_tenant_on rack ~id ~slo ~server:0)
+  done;
+  let t0 = Sim.now sim in
+  let t_end = Time.add t0 window in
+  let sk = Skew.create ~cooldown:(Time.us 500) () in
+  Sim.every sim ~every:(Time.us 250) ~until:t_end (fun now ->
+      Rack.sample_probes rack;
+      match Skew.observe sk ~now ~depths:(Rack.sampled_depths rack) with
+      | None -> ()
+      | Some hot -> (
+        match Rack.hottest_tenant_on rack ~server:hot with
+        | None -> ()
+        | Some victim -> ignore (Rack.rebalance rack ~tenant:victim)));
+  for id = 1 to 24 do
+    let prng = Prng.create (Int64.of_int ((id * 104729) + 11)) in
+    let phase = Time.of_float_us (Prng.float prng *. 500.0) in
+    ignore
+      (Sim.at sim (Time.add t0 phase) (fun () ->
+           Sim.every sim ~every:(Time.of_float_us 500.0) ~until:t_end (fun _ ->
+               Rack.dispatch_read rack ~tenant:id
+                 ~lba:(Int64.of_int (Prng.int prng 65536 * 8))
+                 ~len:1024 ())))
+  done;
+  ignore (Sim.run sim);
+  rack_migration_count := Rack.migrations rack;
+  Printf.printf "migration micro: %d skew firings, %d migrations applied\n\n%!" (Skew.fires sk)
+    !rack_migration_count
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
 let micro_benchmarks () =
@@ -466,6 +551,21 @@ let write_json path =
     Printf.fprintf oc "    ]\n";
     Printf.fprintf oc "  },\n"
   end;
+  (match List.rev !rack_results with
+  | [] -> ()
+  | rows ->
+    Printf.fprintf oc "  \"rack\": {\n";
+    Printf.fprintf oc "    \"policies\": [\n";
+    List.iteri
+      (fun i (name, n, rps) ->
+        Printf.fprintf oc
+          "      {\"policy\": \"%s\", \"balanced_requests\": %d, \"requests_per_sec\": %.0f}%s\n"
+          name n rps
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "    ],\n";
+    Printf.fprintf oc "    \"migrations\": %d\n" !rack_migration_count;
+    Printf.fprintf oc "  },\n");
   Printf.fprintf oc "  \"micros\": [\n";
   let micros = List.rev !micro_results in
   List.iteri
@@ -488,6 +588,7 @@ let () =
   List.iter (fun (id, f) -> timed id (fun () -> f !mode)) experiments;
   if enabled "telemetry" then telemetry_overhead ();
   if enabled "speed" then speed_leg ();
+  if enabled "rack" then rack_leg ();
   if enabled "profile" then profile_leg ();
   if (not !skip_micro) && enabled "micro" then micro_benchmarks ();
   match !json_path with Some p -> write_json p | None -> ()

@@ -8,10 +8,11 @@
      reflex_sim monitor  [--full] [--seed N] [--no-verify] [--flight-dump FILE]
      reflex_sim obs      [--full] [--seed N] [--no-verify] [--flight-dump FILE]
                          [--dump-json FILE]
+     reflex_sim rack     [--full] [--seed N] [--no-verify]
 
-   run/trace/chaos/monitor/obs all take [--backend heap|wheel] (wheel is
-   the default; output is byte-identical either way) and the shared
-   [--prom-out FILE] / [--trace-out FILE] observability outputs.       *)
+   run/trace/chaos/monitor/obs/rack all take [--backend heap|wheel]
+   (wheel is the default; output is byte-identical either way) and the
+   shared [--prom-out FILE] / [--trace-out FILE] observability outputs. *)
 
 open Cmdliner
 open Reflex_experiments
@@ -75,7 +76,9 @@ let list_cmd =
     Printf.printf "%-8s %s\n" "monitor"
       "online monitoring & alerting acceptance scenario (see 'reflex_sim monitor --help')";
     Printf.printf "%-8s %s\n" "obs"
-      "flight recorder, forensic dumps & cost profiler acceptance (see 'reflex_sim obs --help')"
+      "flight recorder, forensic dumps & cost profiler acceptance (see 'reflex_sim obs --help')";
+    Printf.printf "%-8s %s\n" "rack"
+      "rack-scale balancing policy bakeoff, tenant migration & SLO audit (see 'reflex_sim rack --help')"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -403,9 +406,49 @@ let obs_cmd =
       const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ obs_out_term
       $ flight_dump_arg $ dump_json_arg)
 
+let rack_cmd =
+  let doc =
+    "Run the rack-scale scheduling scenario: dozens of ReFlex servers behind a \
+     request-level balancer, thousands of Zipf-loaded latency-critical tenants with \
+     replica sets, and a deliberately uneven best-effort soak.  Prints the policy \
+     bakeoff table (random / round-robin / JSQ / power-of-two / oracle: windowed \
+     p50/p95/p99, SLO compliance, dispatch imbalance, the po2c-vs-oracle gap) and the \
+     migration leg (skew detector firings, migrations applied, imbalance before vs \
+     after).  By default the render is verified byte-identical across a same-seed \
+     rerun, serial vs two domains, and heap vs wheel event backends."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"N" ~doc:"root seed for the rack, generators and policies")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"skip the determinism verification (runs the scenario once instead of 4x)")
+  in
+  let run backend full seed no_verify (prom_out, trace_out) =
+    set_backend backend;
+    let mode = if full then Common.Full else Common.Quick in
+    if no_verify then print_string (Rack_exp.render ~mode ~seed ())
+    else print_string (Rack_exp.debrief ~mode ~seed ());
+    if prom_out <> None || trace_out <> None then begin
+      (* One telemetry-armed po2c leg drives both exports: probe ticks,
+         balancing decisions and migrations land in the flight recorder
+         and the rack gauges. *)
+      let tel = Rack_exp.export_leg ~mode ~seed () in
+      Option.iter (export_trace tel) trace_out;
+      Option.iter (export_prom tel) prom_out
+    end
+  in
+  Cmd.v (Cmd.info "rack" ~doc)
+    Term.(const run $ backend_arg $ full_arg $ seed_arg $ no_verify_arg $ obs_out_term)
+
 let () =
   let doc = "ReFlex (ASPLOS'17) reproduction: run the paper's experiments" in
   let info = Cmd.info "reflex_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; chaos_cmd; monitor_cmd; obs_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; chaos_cmd; monitor_cmd; obs_cmd; rack_cmd ]))

@@ -314,3 +314,9 @@ let tenant_tokens_submitted t ~id =
   | None -> None
 
 let scheduling_rounds t = t.rounds
+
+(* Requests inside this thread, wherever they sit: unparsed receive-ring
+   entries, software-queued tenant requests, and in-flight NVMe
+   commands.  Probe-path metric for the rack-level load balancers. *)
+let queue_depth t =
+  Queue.length t.rx_ring + Scheduler.queue_depth t.scheduler + Hashtbl.length t.outstanding

@@ -108,3 +108,9 @@ val token_usage_rate : 'a t -> float
 val tenant_tokens_submitted : 'a t -> id:int -> float option
 
 val scheduling_rounds : 'a t -> int
+
+(** Requests inside this thread: unparsed receive-ring entries, queued
+    tenant requests awaiting tokens, and in-flight NVMe commands.
+    O(tenants) — a probe-path metric (the rack layer samples it every
+    few hundred microseconds), not a per-cycle one. *)
+val queue_depth : 'a t -> int

@@ -1,5 +1,8 @@
 open Reflex_qos
 
+(* The pool is an assoc list in insertion order — deterministic by
+   construction (no Hashtbl anywhere in this module), which the rack
+   layer's reports and bakeoff tables rely on; see lint.manifest. *)
 type t = { mutable pool : (string * Server.t) list }
 
 let create () = { pool = [] }
@@ -9,8 +12,34 @@ let add_server t ~name server =
   t.pool <- t.pool @ [ (name, server) ]
 
 let servers t = t.pool
+let find t ~name = List.assoc_opt name t.pool
 
 type placement = { server_name : string; server : Server.t }
+
+type probe = {
+  probe_name : string;
+  probe_server : Server.t;
+  probe_headroom : float;
+  probe_queue_depth : int;
+}
+
+(* One probe per server, in insertion order.  Headroom is the unreserved
+   LC token rate at the current strictest SLO; queue depth counts every
+   request inside the server (rx rings, software queues, NVMe
+   in-flight).  The rack layer samples these periodically, so balancers
+   act on probe-aged (stale) state — the idealized oracle is the one
+   that bypasses this and reads fresh counters. *)
+let probes t =
+  List.map
+    (fun (probe_name, srv) ->
+      let cp = Server.control_plane srv in
+      {
+        probe_name;
+        probe_server = srv;
+        probe_headroom = Control_plane.total_token_rate cp -. Control_plane.lc_reserved_rate cp;
+        probe_queue_depth = Server.queue_depth srv;
+      })
+    t.pool
 
 (* Smaller is better: SLO mismatch dominates, headroom breaks ties. *)
 let score cp ~slo =
@@ -54,8 +83,18 @@ let place_and_admit t ~id ~slo =
       Some p
     | Control_plane.Rejected_no_capacity | Control_plane.Rejected_duplicate -> None)
 
-(* Re-placement after a fault: like [place] but never returns a server in
-   [excluding] (the degraded one the tenant is being moved away from). *)
-let place_excluding t ~slo ~excluding =
-  let filtered = { pool = List.filter (fun (name, _) -> name <> excluding) t.pool } in
+(* Placement restricted to servers outside [excluding]: replica
+   selection (a replica set must span distinct servers) and migration
+   (the tenant must leave its current replica set) both need to rule
+   out several servers at once. *)
+let place_excluding_set t ~slo ~excluding =
+  let filtered =
+    { pool = List.filter (fun (name, _) -> not (List.mem name excluding)) t.pool }
+  in
   place filtered ~slo
+
+(* Re-placement after a fault: like [place] but never returns the one
+   server in [excluding].  Thin wrapper kept for the resilience layer
+   (lib/faults/degrade.ml); new callers with a set use
+   [place_excluding_set]. *)
+let place_excluding t ~slo ~excluding = place_excluding_set t ~slo ~excluding:[ excluding ]

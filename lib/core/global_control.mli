@@ -1,6 +1,8 @@
 (** The global (cluster-level) control plane sketched in the paper's
     §4.3 as future work: it manages Flash across many ReFlex servers and
-    decides where each tenant should live.
+    decides where each tenant should live.  The rack layer ([lib/rack])
+    builds its two-layer scheduler on top of this module: placement and
+    per-server probes here, request-level balancing and migration there.
 
     Placement policy, following the paper's guidance:
 
@@ -24,9 +26,32 @@ type t
 val create : unit -> t
 
 val add_server : t -> name:string -> Server.t -> unit
+
+(** All servers, in {e insertion order} — deterministic by construction
+    (the pool is a list, never a Hashtbl), so rack reports built from
+    this ordering are byte-stable across runs and domains. *)
 val servers : t -> (string * Server.t) list
 
+(** Lookup by name ([None] when unknown). *)
+val find : t -> name:string -> Server.t option
+
 type placement = { server_name : string; server : Server.t }
+
+(** One load/capacity sample of a server, taken by {!probes}. *)
+type probe = {
+  probe_name : string;
+  probe_server : Server.t;
+  probe_headroom : float;
+      (** unreserved LC token rate (tokens/s) at the current strictest SLO *)
+  probe_queue_depth : int;
+      (** requests inside the server: rx rings + software queues + NVMe
+          in-flight (see {!Server.queue_depth}) *)
+}
+
+(** Sample every server, in the same insertion order as {!servers}.
+    The rack layer calls this periodically, so balancing policies act on
+    probe-aged state; only the idealized oracle reads fresh counters. *)
+val probes : t -> probe list
 
 (** [place t ~slo] picks the server for a new tenant, or [None] when no
     server can admit it. *)
@@ -36,7 +61,13 @@ val place : t -> slo:Slo.t -> placement option
     clients to the returned server).  [None] if no server admits. *)
 val place_and_admit : t -> id:int -> slo:Slo.t -> placement option
 
-(** [place_excluding t ~slo ~excluding] is {!place} restricted to servers
-    other than [excluding] — used by the resilience layer to move a
-    tenant off a degraded server. *)
+(** [place_excluding_set t ~slo ~excluding] is {!place} restricted to
+    servers whose names are not in [excluding] — replica selection
+    (replicas must land on distinct servers) and tenant migration (the
+    target must be outside the current replica set) both exclude several
+    servers at once. *)
+val place_excluding_set : t -> slo:Slo.t -> excluding:string list -> placement option
+
+(** Single-name convenience wrapper over {!place_excluding_set} — used by
+    the resilience layer to move a tenant off one degraded server. *)
 val place_excluding : t -> slo:Slo.t -> excluding:string -> placement option

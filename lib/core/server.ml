@@ -474,6 +474,16 @@ let tenant_tokens_submitted t ~tenant =
 let thread_utilizations t =
   List.init t.active (fun i -> Dataplane.utilization t.threads.(i))
 
+(* Requests inside the server, wherever they sit (receive rings,
+   software queues, NVMe in-flight), summed over every thread —
+   inactive threads included defensively; rebalancing empties them, so
+   they contribute zero.  This is the signal the rack layer's JSQ and
+   power-of-two-choices balancers probe. *)
+let queue_depth t =
+  let n = ref 0 in
+  Array.iter (fun dp -> n := !n + Dataplane.queue_depth dp) t.threads;
+  !n
+
 let registered_tenants t = Control_plane.registered_count t.control_plane
 
 (* ---------------- resilience hooks (lib/faults) ---------------- *)

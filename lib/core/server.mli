@@ -101,6 +101,13 @@ val tenant_tokens_submitted : t -> tenant:int -> float
 val thread_utilizations : t -> float list
 val registered_tenants : t -> int
 
+(** Requests currently inside the server, wherever they sit: unparsed
+    receive-ring entries, software-queued requests awaiting tokens, and
+    in-flight NVMe commands, summed across threads.  O(tenants) — the
+    probe-path backlog signal sampled by the rack-level load balancers
+    ([lib/rack]), not a per-cycle counter. *)
+val queue_depth : t -> int
+
 (** {1 Resilience hooks}
 
     Driven by [Reflex_faults] — fault injection on the dataplane and the

@@ -17,3 +17,4 @@ module Tracing = Tracing
 module Chaos = Chaos
 module Monitor_exp = Monitor_exp
 module Obs_exp = Obs_exp
+module Rack_exp = Rack_exp

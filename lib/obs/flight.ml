@@ -25,8 +25,10 @@ module Kind = struct
     | Alert_resolve
     | Remediate
     | Mark
+    | Migrate
+    | Balance
 
-  let count = 16
+  let count = 18
 
   let to_int = function
     | Refill -> 0
@@ -45,6 +47,8 @@ module Kind = struct
     | Alert_resolve -> 13
     | Remediate -> 14
     | Mark -> 15
+    | Migrate -> 16
+    | Balance -> 17
 
   let of_int = function
     | 0 -> Refill
@@ -63,6 +67,8 @@ module Kind = struct
     | 13 -> Alert_resolve
     | 14 -> Remediate
     | 15 -> Mark
+    | 16 -> Migrate
+    | 17 -> Balance
     | n -> invalid_arg (Printf.sprintf "Flight.Kind.of_int: %d" n)
 
   let name = function
@@ -82,11 +88,13 @@ module Kind = struct
     | Alert_resolve -> "alert_resolve"
     | Remediate -> "remediate"
     | Mark -> "mark"
+    | Migrate -> "migrate"
+    | Balance -> "balance"
 
   let a_is_label = function
     | Fault_on | Fault_off | Alert_fire | Alert_resolve | Remediate | Mark -> true
     | Refill | Grant | Throttle | Deficit | Donate | Bucket_take | Bucket_reset
-    | Idle_drain | Queue_depth | Demote ->
+    | Idle_drain | Queue_depth | Demote | Migrate | Balance ->
         false
 end
 

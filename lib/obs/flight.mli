@@ -43,6 +43,9 @@ module Kind : sig
     | Alert_resolve  (** alert edge down: a=rule label id, b=severity *)
     | Remediate  (** remediation applied: a=rule label id, b=outcome label id *)
     | Mark  (** manual/CLI mark: a=label id *)
+    | Migrate  (** rack tenant migration started: a=tenant, b=dst server, v=src server *)
+    | Balance
+        (** rack balancing decision: a=chosen server, b=policy index, v=sampled depth *)
 
   val count : int
   val to_int : t -> int

@@ -178,6 +178,21 @@ let enqueue t ~tenant_id ~cost req =
 (* O(1), allocation-free: the listener-maintained aggregate.  Clamp tiny
    negative float drift so idle detection stays exact. *)
 let backlog t = if t.backlog_agg <= 0.0 then 0.0 else t.backlog_agg
+
+(* Request count across tenant software queues.  An O(live tenants)
+   sweep over the member arrays (insertion order, no Hashtbl walk):
+   this backs the rack layer's periodic queue-depth probes, which run
+   every few hundred microseconds, not every dataplane cycle. *)
+let queue_depth t =
+  let n = ref 0 in
+  for i = 0 to t.lc_n - 1 do
+    n := !n + Tenant.queue_length t.lc.(i)
+  done;
+  for i = 0 to t.be_n - 1 do
+    n := !n + Tenant.queue_length t.be.(i)
+  done;
+  !n
+
 let lc_tokens_generated t = t.lc_generated
 
 (* Submit requests off [tenant]'s queue while there is demand and the

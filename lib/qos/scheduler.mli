@@ -57,5 +57,11 @@ val schedule : 'a t -> now:Reflex_engine.Time.t -> submit:('a submission -> unit
     tenant's queue is drained directly, as on detach). *)
 val backlog : 'a t -> float
 
+(** Requests (not tokens) sitting in this thread's tenant software
+    queues.  O(live tenants) sweep — a probe-path metric for the
+    rack-level load balancers, not a per-cycle one ({!backlog} is the
+    O(1) per-cycle aggregate). *)
+val queue_depth : 'a t -> int
+
 (** Tokens generated for LC tenants since creation (observability). *)
 val lc_tokens_generated : 'a t -> float

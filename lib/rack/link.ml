@@ -1,0 +1,34 @@
+open Reflex_engine
+
+(* Per-port one-way delays.  Offsets are a fixed function of the port
+   index (a multiplicative-hash spray over [0, spread)), not a PRNG
+   draw, so two racks of the same size always carry identical tables —
+   byte-stable reports need no seed plumbing here. *)
+
+type t = { switch : Time.t; ports : Time.t array }
+
+let spray i spread_ns =
+  if spread_ns <= 0 then 0
+  else
+    (* Knuth multiplicative hash of the port index, folded into the
+       spread; deterministic and well-scattered for small [i]. *)
+    let h = (i + 1) * 2654435761 land 0x3FFFFFFF in
+    h mod spread_ns
+
+let create ?(switch = Time.us 1) ?(port_base = Time.ns 300) ?(port_spread = Time.ns 600)
+    ~n () =
+  if n < 1 then invalid_arg "Link.create: n < 1";
+  let spread_ns = int_of_float (Time.to_float_ns port_spread) in
+  let ports = Array.make n Time.zero in
+  for i = 0 to n - 1 do
+    ports.(i) <- Time.add port_base (Time.ns (spray i spread_ns))
+  done;
+  { switch; ports }
+
+let n_ports t = Array.length t.ports
+let port_delay t i = t.ports.(i)
+let ingress t i = Time.add t.switch t.ports.(i)
+
+let latency t ~src ~dst =
+  if src = dst then Time.zero
+  else Time.add t.ports.(src) (Time.add t.switch t.ports.(dst))

@@ -1,0 +1,7 @@
+(* Umbrella namespace for the rack-scale two-layer scheduler
+   (reflex-lint: iface_exempt — pure re-export, see lint.manifest). *)
+
+module Link = Link
+module Policy = Policy
+module Skew = Skew
+module Rack = Rack

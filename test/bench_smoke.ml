@@ -199,6 +199,76 @@ let flight_debrief_digest () =
   let snap = Flight.snapshot fl ~now:(Sim.now sim) ~window:(Time.ms 5) in
   Digest.to_hex (Digest.string (Flight_dump.debrief snap))
 
+(* ---------------- Rack balancer gate ---------------- *)
+
+(* The same small rack world as `bench/main.exe --only rack` (po2c leg):
+   8 servers, 64 LC tenants with 3-way replica sets, probe ticks every
+   250us, one CBR read stream per tenant.  Returns balanced requests and
+   wall requests/sec; the skew-driven migration micro rides along so the
+   smoke asserts online migration stays live.  Gated against the "rack"
+   floor in BENCH_BASELINE.json (an "event" here is one request through
+   the balancer's pick + ingress-charge + dispatch path). *)
+let rack_run () =
+  let open Reflex_rack in
+  let n_servers = 8 and n_tenants = 64 in
+  let sim = Sim.create ~seed:7L () in
+  let rack = Rack.create sim ~n_servers ~policy:Policy.Po2c ~seed:0xBE11L () in
+  let slo = Common.lc_slo ~latency_us:300 ~iops:2000 ~read_pct:100 in
+  for id = 1 to n_tenants do
+    ignore (Rack.add_tenant rack ~id ~slo ~replicas:3)
+  done;
+  let t0 = Sim.now sim in
+  let t_end = Time.add t0 (Time.ms 10) in
+  Sim.every sim ~every:(Time.us 250) ~until:t_end (fun _ -> Rack.sample_probes rack);
+  for id = 1 to n_tenants do
+    let prng = Prng.create (Int64.of_int ((id * 7919) + 3)) in
+    let phase = Time.of_float_us (Prng.float prng *. 500.0) in
+    ignore
+      (Sim.at sim (Time.add t0 phase) (fun () ->
+           Sim.every sim ~every:(Time.of_float_us 500.0) ~until:t_end (fun _ ->
+               Rack.dispatch_read rack ~tenant:id
+                 ~lba:(Int64.of_int (Prng.int prng 65536 * 8))
+                 ~len:1024 ())))
+  done;
+  let w0 = Unix.gettimeofday () in
+  ignore (Sim.run sim);
+  let wall = Unix.gettimeofday () -. w0 in
+  let n = Rack.lc_dispatched rack in
+  let eps = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+  (n, eps)
+
+let rack_migration_run () =
+  let open Reflex_rack in
+  let sim = Sim.create ~seed:9L () in
+  let rack = Rack.create sim ~n_servers:8 ~policy:Policy.Po2c ~seed:0x3160L () in
+  let slo = Common.lc_slo ~latency_us:300 ~iops:2000 ~read_pct:100 in
+  for id = 1 to 24 do
+    ignore (Rack.add_tenant_on rack ~id ~slo ~server:0)
+  done;
+  let t0 = Sim.now sim in
+  let t_end = Time.add t0 (Time.ms 10) in
+  let sk = Skew.create ~cooldown:(Time.us 500) () in
+  Sim.every sim ~every:(Time.us 250) ~until:t_end (fun now ->
+      Rack.sample_probes rack;
+      match Skew.observe sk ~now ~depths:(Rack.sampled_depths rack) with
+      | None -> ()
+      | Some hot -> (
+        match Rack.hottest_tenant_on rack ~server:hot with
+        | None -> ()
+        | Some victim -> ignore (Rack.rebalance rack ~tenant:victim)));
+  for id = 1 to 24 do
+    let prng = Prng.create (Int64.of_int ((id * 104729) + 11)) in
+    let phase = Time.of_float_us (Prng.float prng *. 500.0) in
+    ignore
+      (Sim.at sim (Time.add t0 phase) (fun () ->
+           Sim.every sim ~every:(Time.of_float_us 500.0) ~until:t_end (fun _ ->
+               Rack.dispatch_read rack ~tenant:id
+                 ~lba:(Int64.of_int (Prng.int prng 65536 * 8))
+                 ~len:1024 ())))
+  done;
+  ignore (Sim.run sim);
+  Rack.migrations rack
+
 (* Pull "<name>_events_per_sec": <float> out of BENCH_BASELINE.json with
    a plain substring scan — the file is ours, flat, and checked in, so a
    JSON parser dependency would be overkill. *)
@@ -233,7 +303,8 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
     ~iops_delta_pct ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s
     ~m_overhead_pct ~m_identical ~s_events ~h_eps ~h_mwpe ~w_eps ~w_mwpe ~s_identical
     ~backend_sweep_eq ~o_inert_eps ~o_armed_eps ~o_churn_pct ~o_ns_per_record ~o_identical
-    ~o_on_s ~o_wall_pct ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~(lint : Lint_driver.report) =
+    ~o_on_s ~o_wall_pct ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~rack_n ~rack_eps
+    ~rack_migrations ~(lint : Lint_driver.report) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
@@ -278,6 +349,11 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"results_identical\": %b,\n" o_sweep_eq;
   Printf.fprintf oc "    \"dump_digest\": \"%s\",\n" o_dump_digest;
   Printf.fprintf oc "    \"dump_digest_identical\": %b\n" o_dump_eq;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"rack\": {\n";
+  Printf.fprintf oc "    \"balanced_requests\": %d,\n" rack_n;
+  Printf.fprintf oc "    \"rack_events_per_sec\": %.0f,\n" rack_eps;
+  Printf.fprintf oc "    \"migrations\": %d\n" rack_migrations;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"lint\": {\n";
   Printf.fprintf oc "    \"files_scanned\": %d,\n" lint.Lint_driver.files_scanned;
@@ -487,6 +563,27 @@ let () =
   let speed_ok = gate "heap" h_eps && gate "wheel" w_eps in
   if speed_ok then print_endline "bench smoke OK: events/sec within 20% of baseline"
   else print_endline "bench smoke FAILED: events/sec regressed >20% vs BENCH_BASELINE.json";
+  (* Rack balancer gate: best-of-3 balanced-requests/sec through the
+     request-level balancing path vs the "rack" floor, plus the skew
+     detector's migration micro (online migration must stay live). *)
+  let rack_n, rack_eps =
+    let best = ref (rack_run ()) in
+    for _ = 2 to 3 do
+      let n, eps = rack_run () in
+      if eps > snd !best then best := (n, eps)
+    done;
+    !best
+  in
+  let rack_migrations = rack_migration_run () in
+  Printf.printf "[rack: %d balanced requests, %.0f requests/s, %d migrations applied]\n" rack_n
+    rack_eps rack_migrations;
+  let rack_floor_ok = gate "rack" rack_eps in
+  let rack_ok = rack_floor_ok && rack_migrations > 0 in
+  if rack_ok then
+    print_endline "bench smoke OK: rack balancer holds its floor and migration stays live"
+  else if not rack_floor_ok then
+    print_endline "bench smoke FAILED: rack balanced-requests/sec fell below the baseline floor"
+  else print_endline "bench smoke FAILED: skew-driven migration applied no migrations";
   (* Static-analysis gate: the live tree must lint clean, and the counts
      land in BENCH_SMOKE.json for trend tracking. *)
   let lint = run_lint () in
@@ -507,11 +604,11 @@ let () =
       ~f_off_s ~f_on_s ~f_overhead_pct ~f_identical ~m_off_s ~m_on_s ~m_overhead_pct
       ~m_identical ~s_events:h_n ~h_eps ~h_mwpe ~w_eps ~w_mwpe ~s_identical ~backend_sweep_eq
       ~o_inert_eps ~o_armed_eps ~o_churn_pct ~o_ns_per_record ~o_identical ~o_on_s ~o_wall_pct
-      ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~lint
+      ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~rack_n ~rack_eps ~rack_migrations ~lint
   | None -> ());
   if
     not
       (parallel_eq && sim_identical && f_identical && m_identical && s_identical
      && backend_sweep_eq && speed_ok && o_identical && o_floor_ok && o_sweep_eq && o_wall_ok
-     && o_dump_eq && lint_clean)
+     && o_dump_eq && rack_ok && lint_clean)
   then exit 1
