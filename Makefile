@@ -7,11 +7,14 @@
 # (scripted fault plan + determinism verification), the monitor
 # smoke (alerting acceptance + bit-reproducible alert timeline) and the
 # obs smoke (alert-triggered flight-recorder dump, byte-identical
-# across reruns/parallelism/backends) and the rack smoke (two-layer
+# across reruns/parallelism/backends), the rack smoke (two-layer
 # scheduler bakeoff + migration, byte-identical across reruns,
-# parallelism and backends).
+# parallelism and backends) and the rack-obs smoke (rack-scale
+# distributed tracing: hop-delta tiling, dominant-hop attribution on a
+# congested link, burn alert + forensic dump, stitched Follows_from
+# migrations).
 
-.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke obs-smoke rack-smoke check trace chaos monitor obs rack bench clean
+.PHONY: all build test lint bench-smoke chaos-smoke monitor-smoke obs-smoke rack-smoke rack-obs-smoke check trace chaos monitor obs rack bench clean
 
 all: build
 
@@ -72,6 +75,24 @@ rack-smoke: build
 	@grep -q "heap vs wheel backends byte-identical: true" _build/rack_smoke.out
 	@echo "rack smoke OK: bakeoff checks pass, migration live, output byte-identical"
 
+# Rack tracing acceptance: every traced request's hop deltas tile its
+# e2e latency exactly, the congested-link leg's SLO violations blame the
+# ingress hop, the rack burn alert fires and captures a forensic dump,
+# migrations appear as Follows_from parents in the stitched span trees,
+# and the whole render (span trees + rollup md5s included) is
+# byte-identical across reruns, parallelism and backends.  Shares the
+# rack scenario binary so the tracer rides the same bakeoff worlds.
+rack-obs-smoke: build
+	dune exec bin/reflex_sim.exe -- rack > _build/rack_obs_smoke.out
+	@grep -q "RACK OK" _build/rack_obs_smoke.out
+	@grep -q "hop deltas tile e2e in every traced leg      PASS" _build/rack_obs_smoke.out
+	@grep -q "congested link's dominant hop is ingress     PASS" _build/rack_obs_smoke.out
+	@grep -q "rack burn alert fired on the congested leg   PASS" _build/rack_obs_smoke.out
+	@grep -q "migrations stitched into the trace logs      PASS" _build/rack_obs_smoke.out
+	@grep -q "follows_from migrate" _build/rack_obs_smoke.out
+	@grep -q "heap vs wheel backends byte-identical: true" _build/rack_obs_smoke.out
+	@echo "rack-obs smoke OK: tiling exact, ingress blamed, alert fired, migrations stitched"
+
 check: build
 	$(MAKE) lint
 	dune runtest
@@ -80,6 +101,7 @@ check: build
 	$(MAKE) monitor-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) rack-smoke
+	$(MAKE) rack-obs-smoke
 
 # Canonical telemetry scenario: per-request latency breakdowns, SLO
 # audit, scheduler decision log, Chrome trace JSON.

@@ -216,6 +216,7 @@ let unregister t k =
     t.unregister_k <- Some k;
     send t (Message.Unregister { handle })
 
+let next_req_id t = t.next_req
 let inflight t = Hashtbl.length t.outstanding
 let retries t = t.retries
 let timeouts t = t.timeouts

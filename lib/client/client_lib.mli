@@ -69,6 +69,12 @@ val barrier : t -> (Message.status -> latency:Time.t -> unit) -> unit
 
 val unregister : t -> (unit -> unit) -> unit
 
+(** The request id the next issued operation will carry.  Read immediately
+    before {!read}/{!write} to correlate that operation with server-side
+    observability (e.g. rack hop tracing) without changing the wire
+    protocol. *)
+val next_req_id : t -> int64
+
 (** Requests issued but not yet completed. *)
 val inflight : t -> int
 

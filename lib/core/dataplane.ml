@@ -42,6 +42,12 @@ type 'a t = {
   fl : Reflex_obs.Flight.t;
   fl_on : bool;
   trace_id : 'a -> int64;
+  (* Rack-trace hop sink: stamps the NVMe submit/complete instants for a
+     (tenant, request) so a rack-level tracer can attribute server-queue
+     vs flash-service time.  [hops_on] mirrors the sink's bool so the
+     disarmed cost is one test per site, like [tel_on]/[fl_on]. *)
+  mutable hops : Reflex_obs.Hopsink.t;
+  mutable hops_on : bool;
 }
 
 let thread_id t = t.thread_id
@@ -129,6 +135,9 @@ and run_cycle t =
           if t.tel_on then
             Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
               ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_submit;
+          if t.hops_on then
+            Reflex_obs.Hopsink.stamp t.hops ~tenant:pend.p_tenant
+              ~req:(t.trace_id pend.p_payload) ~hop:2 ~now:(Sim.now t.sim);
           true
         | `Full -> false
       in
@@ -174,6 +183,9 @@ and run_step2 t =
             if t.tel_on then
               Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
                 ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_complete;
+            if t.hops_on then
+              Reflex_obs.Hopsink.stamp t.hops ~tenant:pend.p_tenant
+                ~req:(t.trace_id pend.p_payload) ~hop:3 ~now:(Sim.now t.sim);
             t.respond
               {
                 payload = pend.p_payload;
@@ -238,6 +250,8 @@ let create sim ~thread_id ~qp ~device ~cost_model ~global ?(costs = Costs.defaul
       fl = Telemetry.flight telemetry;
       fl_on = Reflex_obs.Flight.enabled (Telemetry.flight telemetry);
       trace_id;
+      hops = Reflex_obs.Hopsink.null;
+      hops_on = false;
     }
   in
   if t.tel_on then begin
@@ -295,6 +309,10 @@ let inject_stall t ~duration =
   if Time.(duration <= Time.zero) then invalid_arg "Dataplane.inject_stall: duration";
   Resource.submit t.core ~priority:Resource.High ~service:duration
     (fun ~started:_ ~finished:_ -> ())
+
+let set_hopsink t sink =
+  t.hops <- sink;
+  t.hops_on <- Reflex_obs.Hopsink.enabled sink
 
 let set_conn_count t n = t.conns <- n
 let utilization t = Resource.utilization t.core

@@ -84,6 +84,12 @@ val receive : 'a t -> tenant_id:int -> kind:Io_op.kind -> bytes:int -> 'a -> uni
     model). *)
 val set_conn_count : 'a t -> int -> unit
 
+(** [set_hopsink t sink] arms (or, with [Hopsink.null], disarms) the
+    rack-trace hop sink: the thread stamps hop 2 (NVMe submit) and hop 3
+    (NVMe complete) for each request as [(tenant, trace_id payload)].
+    Disarmed cost is one bool test per site. *)
+val set_hopsink : 'a t -> Reflex_obs.Hopsink.t -> unit
+
 (** {1 Fault injection}
 
     [inject_stall t ~duration] occupies the thread's core with

@@ -486,6 +486,11 @@ let queue_depth t =
 
 let registered_tenants t = Control_plane.registered_count t.control_plane
 
+(* Rack tracing: fan the hop sink out to every dataplane thread, so NVMe
+   submit/complete instants reach the rack-level tracer regardless of
+   which thread a tenant lands on (or migrates to). *)
+let set_hopsink t sink = Array.iter (fun dp -> Dataplane.set_hopsink dp sink) t.threads
+
 (* ---------------- resilience hooks (lib/faults) ---------------- *)
 
 let inject_thread_stall t ~thread ~duration =

@@ -108,6 +108,11 @@ val registered_tenants : t -> int
     ([lib/rack]), not a per-cycle counter. *)
 val queue_depth : t -> int
 
+(** [set_hopsink t sink] arms the rack-trace hop sink on every dataplane
+    thread (see [Dataplane.set_hopsink]); [Reflex_obs.Hopsink.null]
+    disarms. *)
+val set_hopsink : t -> Reflex_obs.Hopsink.t -> unit
+
 (** {1 Resilience hooks}
 
     Driven by [Reflex_faults] — fault injection on the dataplane and the

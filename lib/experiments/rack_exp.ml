@@ -3,6 +3,10 @@ open Reflex_rack
 module Hdr = Reflex_stats.Hdr_histogram
 module Table = Reflex_stats.Table
 module Telemetry = Reflex_telemetry.Telemetry
+module Rack_obs = Reflex_rack_obs.Rack_obs
+module Rack_rollup = Reflex_rack_obs.Rack_rollup
+module Tsdb = Reflex_monitor.Tsdb
+module Alerts = Reflex_monitor.Alerts
 
 (* ------------------------------------------------------------------ *)
 (* Scale                                                               *)
@@ -87,6 +91,24 @@ type migration_leg = {
   m_p99_after_us : float;
 }
 
+type obs_leg = {
+  o_congested : bool;
+  o_traced : int;
+  o_untiled : int;
+  o_fallbacks : int;
+  o_overflow : int;
+  o_tiling_ok : bool;
+  o_migrations : int;
+  o_alert_fired : bool;
+  o_dump_line : string;
+  o_dominant : int option;  (* dominant violation component rack-wide *)
+  o_attribution : string;
+  o_exemplars : string;
+  o_lanes : string;
+  o_stitch : string;
+  o_rollup_md5 : string;
+}
+
 type result = {
   r_scale : scale;
   r_seed : int64;
@@ -95,6 +117,7 @@ type result = {
   r_replicas : int;
   r_rows : policy_row list;
   r_migration : migration_leg;
+  r_obs : obs_leg list;  (* normal link, then congested link *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -294,6 +317,116 @@ let migration_leg ~sc ~seed =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Tracing leg                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A small po2c rack with the distributed tracer armed end-to-end:
+   per-hop attribution histograms, worst-K exemplars, the rack burn-rate
+   alert and its forensic dump, and the cross-server rollup/stitch
+   artifacts.  Two variants share one shape: the normal link (sub-us
+   ports — tracing shows a service/queue-dominated rack and the alert
+   stays quiet) and a congested link (150us switch + 120-270us ports —
+   every request blows the 300us SLO on the wire, the dominant-hop table
+   points at ingress, and the burn alert fires a rack-wide dump).  A
+   forced rebalance of the two heaviest tenants mid-warmup seeds the
+   migration log so the stitch shows [Follows_from] parents. *)
+let obs_leg ~sc ~seed ~congested =
+  let n = min sc.s_servers 8 in
+  let tenants = max 16 (min 64 (sc.s_tenants / 25)) in
+  let warmup = Time.ms 2 and window = Time.ms 8 in
+  let sim = Sim.create ~seed:(Int64.add seed 0x0B5L) () in
+  let link =
+    if congested then
+      Link.create ~switch:(Time.us 150) ~port_base:(Time.us 120)
+        ~port_spread:(Time.us 150) ~n ()
+    else Link.create ~n ()
+  in
+  let rack =
+    Rack.create sim ~n_servers:n ~policy:Policy.Po2c ~link
+      ~seed:(Int64.add seed 0x0B7L) ()
+  in
+  let obs = Rack_obs.create ~exemplars:3 rack in
+  let tsdb = Tsdb.create () in
+  let alerts = Alerts.create () in
+  Rack_obs.wire_monitor obs ~tsdb ~alerts ();
+  let rates = zipf_rates ~n:tenants ~total:(25e3 *. float_of_int n) in
+  let placed = ref [] in
+  for i = 0 to tenants - 1 do
+    let id = i + 1 in
+    let slo =
+      Common.lc_slo ~latency_us:lc_latency_us
+        ~iops:(int_of_float (ceil rates.(i)))
+        ~read_pct:100
+    in
+    match Rack.add_tenant rack ~id ~slo ~replicas:(min sc.s_replicas n) with
+    | `Placed _ -> placed := (id, rates.(i)) :: !placed
+    | `Rejected -> ()
+  done;
+  let placed = List.rev !placed in
+  let t0 = Sim.now sim in
+  let span = Time.add warmup window in
+  let t_end = Time.add t0 span in
+  Sim.every sim ~every:probe_period ~until:t_end (fun _ -> Rack.sample_probes rack);
+  Rack_obs.start_monitor obs ~tsdb ~alerts ~until:t_end ();
+  List.iter
+    (fun (id, rate) -> start_cbr sim rack ~tenant:id ~rate ~len:1024 ~t0 ~until:t_end)
+    placed;
+  (match placed with
+  | (a, _) :: (b, _) :: _ ->
+    ignore
+      (Sim.at sim
+         (Time.add t0 (Time.ms 1))
+         (fun () ->
+           ignore (Rack.rebalance rack ~tenant:a);
+           ignore (Rack.rebalance rack ~tenant:b)))
+  | _ -> ());
+  ignore (Sim.run ~until:t_end sim);
+  let now = Sim.now sim in
+  let server_snaps = Rack_obs.snapshot_servers obs ~now ~window:span in
+  let rack_snap = Rack_obs.snapshot_rack obs ~now ~window:span in
+  let viol = Rack_obs.violations obs in
+  let dominant =
+    if Rack_obs.violation_total obs = 0 then None
+    else begin
+      let dom = ref 0 in
+      Array.iteri (fun i v -> if v > viol.(!dom) then dom := i) viol;
+      Some !dom
+    end
+  in
+  let dump_line =
+    match Rack_obs.dump obs with
+    | None -> "  forensic dump: none\n"
+    | Some d ->
+      let events =
+        Array.fold_left
+          (fun acc s -> acc + Reflex_obs.Flight.snap_length s)
+          (Reflex_obs.Flight.snap_length d.Rack_obs.d_rack_snap)
+          d.Rack_obs.d_server_snaps
+      in
+      Printf.sprintf "  forensic dump: rule %s @ %.1f us, %d lane events frozen\n"
+        d.Rack_obs.d_rule
+        (Time.to_float_us d.Rack_obs.d_time)
+        events
+  in
+  {
+    o_congested = congested;
+    o_traced = Rack_obs.traced obs;
+    o_untiled = Rack_obs.untiled obs;
+    o_fallbacks = Rack_obs.fallbacks obs;
+    o_overflow = Rack_obs.slot_overflow obs;
+    o_tiling_ok = Rack_obs.tiling_ok obs;
+    o_migrations = List.length (Rack_obs.migrations obs);
+    o_alert_fired = Alerts.fired_total alerts > 0;
+    o_dump_line = dump_line;
+    o_dominant = dominant;
+    o_attribution = Rack_obs.attribution obs;
+    o_exemplars = Rack_obs.render_exemplars obs;
+    o_lanes = Rack_rollup.lane_summary ~server_snaps ~rack_snap;
+    o_stitch = Rack_rollup.stitch ~server_snaps ~rack_snap;
+    o_rollup_md5 = Digest.to_hex (Digest.string (Rack_rollup.chrome_trace ~server_snaps ~rack_snap));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Run / predicates / render                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -313,6 +446,8 @@ let run ?(mode = Common.Quick) ?(seed = 42L) ?jobs ?scale () =
     r_replicas = sc.s_replicas;
     r_rows = List.map snd legs;
     r_migration = migration_leg ~sc ~seed;
+    r_obs =
+      [ obs_leg ~sc ~seed ~congested:false; obs_leg ~sc ~seed ~congested:true ];
   }
 
 let row r kind = List.find (fun p -> p.p_kind = kind) r.r_rows
@@ -332,8 +467,24 @@ let migrations_applied r = r.r_migration.m_migrations > 0
 let migration_helps r =
   r.r_migration.m_imbalance_after < r.r_migration.m_imbalance_before
 
+(* Tracing predicates: every leg traced traffic and tiled exactly; the
+   congested-link leg blames the wire (dominant hop = ingress) and fires
+   the rack burn alert with a forensic dump; migrations were stitched. *)
+let obs_tiling_exact r =
+  r.r_obs <> [] && List.for_all (fun o -> o.o_tiling_ok && o.o_overflow = 0) r.r_obs
+
+let obs_congested_blames_ingress r =
+  List.exists (fun o -> o.o_congested && o.o_dominant = Some 1) r.r_obs
+
+let obs_alert_fired r =
+  List.exists (fun o -> o.o_congested && o.o_alert_fired) r.r_obs
+
+let obs_migrations_stitched r = List.for_all (fun o -> o.o_migrations > 0) r.r_obs
+
 let ok r =
   po2c_beats_random r && oracle_best r && migrations_applied r && migration_helps r
+  && obs_tiling_exact r && obs_congested_blames_ingress r && obs_alert_fired r
+  && obs_migrations_stitched r
 
 let render_result r =
   let buf = Buffer.create 4096 in
@@ -368,11 +519,48 @@ let render_result r =
     r.r_scale.s_hot_tenants m.m_fires m.m_migrations;
   Printf.bprintf buf "  dispatch imbalance %.2f -> %.2f, LC p99 %.1f -> %.1f us\n\n"
     m.m_imbalance_before m.m_imbalance_after m.m_p99_before_us m.m_p99_after_us;
+  List.iter
+    (fun o ->
+      Printf.bprintf buf "Rack tracing (%s link): %d traced, %d stamp fallbacks, %d migrations\n"
+        (if o.o_congested then "congested" else "normal")
+        o.o_traced o.o_fallbacks o.o_migrations;
+      Buffer.add_string buf o.o_attribution;
+      Buffer.add_string buf o.o_exemplars;
+      Buffer.add_string buf o.o_lanes;
+      (* first span tree with a Follows_from parent, if the window kept one *)
+      (let lines = String.split_on_char '\n' o.o_stitch in
+       let rec skip = function
+         | rid_line :: ff :: rest
+           when String.length rid_line > 3
+                && String.sub rid_line 0 4 = "rid "
+                && String.length ff > 14
+                && String.sub ff 0 15 = "  follows_from " ->
+           Printf.bprintf buf "  stitched span tree:\n    %s\n    %s\n" rid_line ff;
+           let rec dump = function
+             | l :: rest when String.length l > 2 && String.sub l 0 2 = "  " ->
+               Printf.bprintf buf "    %s\n" l;
+               dump rest
+             | _ -> ()
+           in
+           dump rest
+         | _ :: rest -> skip rest
+         | [] -> ()
+       in
+       skip lines);
+      Printf.bprintf buf "  rollup md5 %s, stitch md5 %s (%d bytes), alert fired: %b\n%s\n"
+        o.o_rollup_md5
+        (Digest.to_hex (Digest.string o.o_stitch))
+        (String.length o.o_stitch) o.o_alert_fired o.o_dump_line)
+    r.r_obs;
   let check name v = Printf.bprintf buf "  %-44s %s\n" name (if v then "PASS" else "FAIL") in
   check "po2c beats random on p99" (po2c_beats_random r);
   check "oracle's SLO compliance is the best" (oracle_best r);
   check "skew detector migrated tenants" (migrations_applied r);
   check "migration reduced dispatch imbalance" (migration_helps r);
+  check "hop deltas tile e2e in every traced leg" (obs_tiling_exact r);
+  check "congested link's dominant hop is ingress" (obs_congested_blames_ingress r);
+  check "rack burn alert fired on the congested leg" (obs_alert_fired r);
+  check "migrations stitched into the trace logs" (obs_migrations_stitched r);
   Printf.bprintf buf "\n%s\n" (if ok r then "RACK OK" else "RACK FAILED");
   Buffer.contents buf
 

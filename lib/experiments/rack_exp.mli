@@ -61,6 +61,27 @@ type migration_leg = {
   m_p99_after_us : float;
 }
 
+(** One distributed-tracing leg ([Reflex_rack_obs] armed end-to-end):
+    per-hop attribution, exemplars, rollup/stitch artifacts, and the
+    rack burn alert + forensic dump state. *)
+type obs_leg = {
+  o_congested : bool;  (** congested-link variant? *)
+  o_traced : int;
+  o_untiled : int;
+  o_fallbacks : int;
+  o_overflow : int;
+  o_tiling_ok : bool;
+  o_migrations : int;
+  o_alert_fired : bool;
+  o_dump_line : string;
+  o_dominant : int option;  (** dominant SLO-violation component *)
+  o_attribution : string;
+  o_exemplars : string;
+  o_lanes : string;
+  o_stitch : string;  (** full cross-server span-tree stitching *)
+  o_rollup_md5 : string;  (** digest of the merged Chrome trace *)
+}
+
 type result = {
   r_scale : scale;
   r_seed : int64;
@@ -69,6 +90,7 @@ type result = {
   r_replicas : int;
   r_rows : policy_row list;  (** in {!Policy.all} order *)
   r_migration : migration_leg;
+  r_obs : obs_leg list;  (** normal link, then congested link *)
 }
 
 val run : ?mode:Common.mode -> ?seed:int64 -> ?jobs:int -> ?scale:scale -> unit -> result
@@ -85,6 +107,19 @@ val oracle_gap : result -> float
 
 val migrations_applied : result -> bool
 val migration_helps : result -> bool
+
+(** Every tracing leg tiled exactly with no slot overflow. *)
+val obs_tiling_exact : result -> bool
+
+(** The congested-link leg's dominant SLO-violation hop is ingress. *)
+val obs_congested_blames_ingress : result -> bool
+
+(** The rack burn-rate alert fired on the congested leg. *)
+val obs_alert_fired : result -> bool
+
+(** Both legs logged migrations for [Follows_from] stitching. *)
+val obs_migrations_stitched : result -> bool
+
 val ok : result -> bool
 
 val render_result : result -> string

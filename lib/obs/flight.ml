@@ -27,8 +27,9 @@ module Kind = struct
     | Mark
     | Migrate
     | Balance
+    | Hop
 
-  let count = 18
+  let count = 19
 
   let to_int = function
     | Refill -> 0
@@ -49,6 +50,7 @@ module Kind = struct
     | Mark -> 15
     | Migrate -> 16
     | Balance -> 17
+    | Hop -> 18
 
   let of_int = function
     | 0 -> Refill
@@ -69,6 +71,7 @@ module Kind = struct
     | 15 -> Mark
     | 16 -> Migrate
     | 17 -> Balance
+    | 18 -> Hop
     | n -> invalid_arg (Printf.sprintf "Flight.Kind.of_int: %d" n)
 
   let name = function
@@ -90,11 +93,12 @@ module Kind = struct
     | Mark -> "mark"
     | Migrate -> "migrate"
     | Balance -> "balance"
+    | Hop -> "hop"
 
   let a_is_label = function
     | Fault_on | Fault_off | Alert_fire | Alert_resolve | Remediate | Mark -> true
     | Refill | Grant | Throttle | Deficit | Donate | Bucket_take | Bucket_reset
-    | Idle_drain | Queue_depth | Demote | Migrate | Balance ->
+    | Idle_drain | Queue_depth | Demote | Migrate | Balance | Hop ->
         false
 end
 
@@ -106,6 +110,10 @@ type t = {
   aa : int array;
   bb : int array;
   vv : float array;
+  (* Per-kind written counters (indexed by [Kind.to_int]): one extra array
+     store on the hot path so {!snapshot} can report exactly which record
+     kinds the wraparound window lost, not just a lump total. *)
+  kind_written : int array;
   mutable next : int;
   mutable total : int;
   (* Cold-path label interning: ids are handed out in first-use order
@@ -125,6 +133,7 @@ let make ~enabled ~capacity =
     aa = Array.make capacity 0;
     bb = Array.make capacity 0;
     vv = Array.make capacity 0.0;
+    kind_written = Array.make Kind.count 0;
     next = 0;
     total = 0;
     ids = Hashtbl.create 16;
@@ -143,11 +152,13 @@ let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
 let record t ~now ~kind ~a ~b ~v =
   if t.on then begin
     let i = t.next in
+    let k = Kind.to_int kind in
     t.times.(i) <- now;
-    t.kinds.(i) <- Kind.to_int kind;
+    t.kinds.(i) <- k;
     t.aa.(i) <- a;
     t.bb.(i) <- b;
     t.vv.(i) <- v;
+    t.kind_written.(k) <- t.kind_written.(k) + 1;
     let j = i + 1 in
     t.next <- (if j = t.capacity then 0 else j);
     t.total <- t.total + 1
@@ -189,6 +200,8 @@ type snapshot = {
   snap_window : Time.t;
   snap_total : int;
   snap_dropped : int;
+  snap_kind_written : int array;
+  snap_kind_retained : int array;
   s_times : Time.t array;
   s_kinds : int array;
   s_a : int array;
@@ -220,11 +233,20 @@ let snapshot t ~now ~window =
         s_v.(!j) <- v;
         incr j
       end);
+  (* Per-kind retention: cold full-ring scan (not just the window), so
+     dropped_k = written_k - retained_k names exactly what wraparound
+     overwrote for each record kind. *)
+  let kind_retained = Array.make Kind.count 0 in
+  iter t (fun ~time:_ ~kind ~a:_ ~b:_ ~v:_ ->
+      let k = Kind.to_int kind in
+      kind_retained.(k) <- kind_retained.(k) + 1);
   {
     snap_now = now;
     snap_window = window;
     snap_total = t.total;
     snap_dropped = dropped t;
+    snap_kind_written = Array.copy t.kind_written;
+    snap_kind_retained = kind_retained;
     s_times = (if n = 0 then [||] else s_times);
     s_kinds = (if n = 0 then [||] else s_kinds);
     s_a = (if n = 0 then [||] else s_a);
@@ -234,3 +256,9 @@ let snapshot t ~now ~window =
   }
 
 let snap_length s = Array.length s.s_times
+let snap_kind_written s kind = s.snap_kind_written.(Kind.to_int kind)
+let snap_kind_retained s kind = s.snap_kind_retained.(Kind.to_int kind)
+
+let snap_kind_dropped s kind =
+  let k = Kind.to_int kind in
+  s.snap_kind_written.(k) - s.snap_kind_retained.(k)

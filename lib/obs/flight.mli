@@ -46,6 +46,10 @@ module Kind : sig
     | Migrate  (** rack tenant migration started: a=tenant, b=dst server, v=src server *)
     | Balance
         (** rack balancing decision: a=chosen server, b=policy index, v=sampled depth *)
+    | Hop
+        (** rack trace hop stamp: a=rack request id, b=(tenant lsl 3) lor hop
+            index (0=pick 1=ingress 2=submit 3=complete 4=reply), v=per-hop
+            payload (see [Rack_obs]) *)
 
   val count : int
   val to_int : t -> int
@@ -103,6 +107,11 @@ type snapshot = private {
   snap_window : Time.t;
   snap_total : int;  (** records ever written when the snapshot was taken *)
   snap_dropped : int;  (** records already lost to wraparound at that point *)
+  snap_kind_written : int array;
+      (** per-kind records ever written, indexed by [Kind.to_int] *)
+  snap_kind_retained : int array;
+      (** per-kind records still in the ring at snapshot time (full ring, not
+          just the window), indexed by [Kind.to_int] *)
   s_times : Time.t array;
   s_kinds : int array;
   s_a : int array;
@@ -116,3 +125,11 @@ type snapshot = private {
 val snapshot : t -> now:Time.t -> window:Time.t -> snapshot
 
 val snap_length : snapshot -> int
+
+(** Per-kind accessors over the snapshot accounting arrays:
+    [snap_kind_dropped s k = snap_kind_written s k - snap_kind_retained s k]
+    is exactly what wraparound overwrote for that kind. *)
+val snap_kind_written : snapshot -> Kind.t -> int
+
+val snap_kind_retained : snapshot -> Kind.t -> int
+val snap_kind_dropped : snapshot -> Kind.t -> int

@@ -2,4 +2,5 @@
 
 module Flight = Flight
 module Flight_dump = Flight_dump
+module Hopsink = Hopsink
 module Profiler = Profiler

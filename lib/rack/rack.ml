@@ -31,6 +31,26 @@ type tenant = {
   mutable t_dispatched : int;
 }
 
+(* Rack trace hooks (armed by [lib/rack_obs]; inert by default).  The
+   dispatch hook returns a recorder slot id (or -1 when the tracer elects
+   not to track the request); the slot threads through issue/complete so
+   the recorder never searches for its own state on the hot path. *)
+type tracer = {
+  tr_dispatch :
+    tenant:int -> server:int -> sampled:int -> slo_bound:Time.t -> now:Time.t -> int;
+  tr_issue : slot:int -> server:int -> tenant:int -> req:int64 -> now:Time.t -> unit;
+  tr_complete : slot:int -> ok:bool -> now:Time.t -> unit;
+  tr_migrate : tenant:int -> src:int -> dst:int -> now:Time.t -> unit;
+}
+
+let null_tracer =
+  {
+    tr_dispatch = (fun ~tenant:_ ~server:_ ~sampled:_ ~slo_bound:_ ~now:_ -> -1);
+    tr_issue = (fun ~slot:_ ~server:_ ~tenant:_ ~req:_ ~now:_ -> ());
+    tr_complete = (fun ~slot:_ ~ok:_ ~now:_ -> ());
+    tr_migrate = (fun ~tenant:_ ~src:_ ~dst:_ ~now:_ -> ());
+  }
+
 type t = {
   sim : Sim.t;
   fabric : Fabric.t;
@@ -44,6 +64,7 @@ type t = {
   sampled : int array;  (* probe-aged queue depths *)
   exact : int array;  (* fresh rack-tracked in-flight *)
   disp : int array;  (* cumulative dispatches *)
+  last_probe : Time.t array;  (* per-server instant of the last probe sample *)
   (* tenants *)
   tenants : (int, tenant) Hashtbl.t;  (* id -> tenant, LOOKUP ONLY *)
   mutable tenants_rev : tenant list;  (* registration order, reversed *)
@@ -58,6 +79,8 @@ type t = {
   mutable migrations : int;
   tel : Telemetry.t;
   fl : Flight.t;
+  mutable tracer : tracer;
+  mutable tracer_on : bool;
 }
 
 let server_name i = Printf.sprintf "rack-%02d" i
@@ -109,6 +132,7 @@ let create sim ~n_servers ?(n_threads = 1) ?profile ?(policy = Policy.Po2c)
       sampled = Array.make n_servers 0;
       exact = Array.make n_servers 0;
       disp = Array.make n_servers 0;
+      last_probe = Array.make n_servers (Sim.now sim);
       tenants = Hashtbl.create 4096;
       tenants_rev = [];
       n_tenants = 0;
@@ -121,18 +145,39 @@ let create sim ~n_servers ?(n_threads = 1) ?profile ?(policy = Policy.Po2c)
       migrations = 0;
       tel = telemetry;
       fl = Telemetry.flight telemetry;
+      tracer = null_tracer;
+      tracer_on = false;
     }
   in
   if Telemetry.enabled telemetry then begin
     for i = 0 to n_servers - 1 do
       Telemetry.register_gauge telemetry
         (Printf.sprintf "rack/s%02d/inflight" i)
-        (fun () -> float_of_int t.exact.(i))
+        (fun () -> float_of_int t.exact.(i));
+      (* Probe-cache age: how stale the jsq/po2c sampled depth for this
+         server is right now.  Exposes balancer herding risk directly. *)
+      Telemetry.register_gauge telemetry
+        (Printf.sprintf "rack/s%02d/probe_age_us" i)
+        (fun () -> Time.to_float_us (Time.diff (Sim.now t.sim) t.last_probe.(i)))
     done;
+    Telemetry.register_gauge telemetry "rack/probe_age_us" (fun () ->
+        let oldest = ref Time.zero in
+        Array.iter
+          (fun p ->
+            let age = Time.diff (Sim.now t.sim) p in
+            if Time.(age > !oldest) then oldest := age)
+          t.last_probe;
+        Time.to_float_us !oldest);
+    Telemetry.register_gauge telemetry "rack/policy/dispatched" (fun () ->
+        float_of_int t.lc_dispatched);
     Telemetry.register_gauge telemetry "rack/migrations" (fun () ->
         float_of_int t.migrations)
   end;
   t
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  t.tracer_on <- true
 
 let sim t = t.sim
 let n_servers t = Array.length t.servers
@@ -153,9 +198,14 @@ let exact_inflight t = Array.copy t.exact
 let dispatched t = Array.copy t.disp
 
 let sample_probes t =
+  let now = Sim.now t.sim in
   List.iteri
-    (fun i p -> t.sampled.(i) <- p.Global_control.probe_queue_depth)
+    (fun i p ->
+      t.sampled.(i) <- p.Global_control.probe_queue_depth;
+      t.last_probe.(i) <- now)
     (Global_control.probes t.control)
+
+let probe_age t ~server = Time.diff (Sim.now t.sim) t.last_probe.(server)
 
 let find_tenant t id =
   match Hashtbl.find_opt t.tenants id with
@@ -306,6 +356,15 @@ let dispatch_read t ?on_complete ~tenant ~lba ~len () =
     Flight.record t.fl ~now:t0 ~kind:Flight.Kind.Balance ~a:s
       ~b:(Policy.kind_index (Policy.kind t.policy))
       ~v:(float_of_int t.sampled.(s));
+  (* Hop 0 (pick): the tracer allocates a slot at the balancing instant;
+     -1 (tracer off, or slot table full) disables the remaining hop
+     stamps for this request at one int test each. *)
+  let slot =
+    if t.tracer_on then
+      t.tracer.tr_dispatch ~tenant ~server:s ~sampled:t.sampled.(s)
+        ~slo_bound:ten.slo_bound ~now:t0
+    else -1
+  in
   let complete status ~latency:_ =
     t.exact.(s) <- t.exact.(s) - 1;
     a.a_outstanding <- a.a_outstanding - 1;
@@ -322,10 +381,21 @@ let dispatch_read t ?on_complete ~tenant ~lba ~len () =
       t.slo_total <- t.slo_total + 1;
       if Time.(e2e <= ten.slo_bound) then t.slo_ok <- t.slo_ok + 1
     end;
+    if slot >= 0 then
+      t.tracer.tr_complete ~slot ~ok:(status = Message.Ok) ~now:(Sim.now t.sim);
     if ten.draining <> [] then drain ten;
     match on_complete with Some k -> k status | None -> ()
   in
-  let issue () = Client_lib.read a.a_conn ~lba ~len complete in
+  let issue () =
+    (* Hop 1 (ingress done / client issue): read the connection's next
+       request id just before [read] assigns it, so the server-side hop
+       stamps for (tenant, req) correlate back to this slot. *)
+    if slot >= 0 then
+      t.tracer.tr_issue ~slot ~server:s ~tenant
+        ~req:(Client_lib.next_req_id a.a_conn)
+        ~now:(Sim.now t.sim);
+    Client_lib.read a.a_conn ~lba ~len complete
+  in
   let d = Link.ingress t.link s in
   if Time.equal d Time.zero then issue ()
   else ignore (Sim.at t.sim (Time.add t0 d) issue)
@@ -337,7 +407,8 @@ let dispatch_read t ?on_complete ~tenant ~lba ~len () =
 let record_migrate t ~tenant ~src ~dst =
   if Flight.enabled t.fl then
     Flight.record t.fl ~now:(Sim.now t.sim) ~kind:Flight.Kind.Migrate ~a:tenant ~b:dst
-      ~v:(float_of_int src)
+      ~v:(float_of_int src);
+  if t.tracer_on then t.tracer.tr_migrate ~tenant ~src ~dst ~now:(Sim.now t.sim)
 
 let migrate t ~tenant ~dst =
   let ten = find_tenant t tenant in

@@ -117,6 +117,12 @@ val dispatch_read :
     tick, so policy staleness equals the tick period. *)
 val sample_probes : t -> unit
 
+(** Age of the probe-cached depth for [server]: now minus the last
+    {!sample_probes} instant (creation time before the first sample).
+    Also exported as the [rack/s%02d/probe_age_us] / [rack/probe_age_us]
+    telemetry gauges when telemetry is armed. *)
+val probe_age : t -> server:int -> Time.t
+
 (** Probe-aged per-server queue depths (what JSQ/po2c see); a copy. *)
 val sampled_depths : t -> int array
 
@@ -169,3 +175,24 @@ val errors : t -> int
 val slo_total : t -> int
 
 val slo_ok : t -> int
+
+(** {1 Rack tracing hooks}
+
+    Armed by [Reflex_rack_obs.Rack_obs]; every hook is inert (one bool
+    test on dispatch, one int test per subsequent stamp) until
+    {!set_tracer} is called.  [tr_dispatch] fires at the balancing
+    instant (hop 0) and returns a recorder slot id, or [-1] to decline
+    tracking this request; [tr_issue] fires when the charged ingress
+    delay elapses and the read is about to be issued (hop 1), carrying
+    the connection's next request id for server-side correlation;
+    [tr_complete] fires at reply delivery (hop 4); [tr_migrate] fires
+    for every migration decision that records a [Migrate] event. *)
+type tracer = {
+  tr_dispatch :
+    tenant:int -> server:int -> sampled:int -> slo_bound:Time.t -> now:Time.t -> int;
+  tr_issue : slot:int -> server:int -> tenant:int -> req:int64 -> now:Time.t -> unit;
+  tr_complete : slot:int -> ok:bool -> now:Time.t -> unit;
+  tr_migrate : tenant:int -> src:int -> dst:int -> now:Time.t -> unit;
+}
+
+val set_tracer : t -> tracer -> unit

@@ -1,0 +1,4 @@
+(** Umbrella module for the rack observability library. *)
+
+module Rack_obs = Rack_obs
+module Rack_rollup = Rack_rollup
