@@ -25,10 +25,12 @@ test: build
 	dune runtest
 
 # Determinism / domain-safety / hot-path-allocation gate: reflex-lint
-# scans lib/, bin/ and bench/ against lint.manifest and fails on any
-# finding.  The JSON report is kept for the CI artifact.
+# scans lib/, bin/ and bench/ against lint.manifest, runs the
+# interprocedural passes over the cross-module call graph, and fails on
+# any finding.  The JSON report and the call graph are kept for the CI
+# artifacts.
 lint: build
-	dune exec bin/reflex_lint.exe -- --root . --json _build/lint.json
+	dune exec bin/reflex_lint.exe -- --root . --json _build/lint.json --callgraph-out _build/callgraph.json
 
 bench-smoke: build
 	dune exec test/bench_smoke.exe -- --json BENCH_SMOKE.json

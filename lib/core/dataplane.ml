@@ -171,29 +171,29 @@ and run_cycle t =
    completion events, transmit responses. *)
 and run_step2 t =
   let costs = t.costs in
-  let completions = Queue_pair.poll t.qp ~max:costs.batch_max in
-  let step2_cpu = Time.scale costs.complete_per_req (float_of_int (List.length completions)) in
+  (* Size the batch now (CPU is charged for what this cycle will reap);
+     the reap itself happens in the callback via [Queue_pair.drain] —
+     the CQ ring is FIFO, so the first [n] entries then are exactly the
+     ones pending here, and no completion list is ever built. *)
+  let pending = Queue_pair.completions_pending t.qp in
+  let n = if pending < costs.batch_max then pending else costs.batch_max in
+  let step2_cpu = Time.scale costs.complete_per_req (float_of_int n) in
   Resource.submit t.core ~service:(charge t step2_cpu) (fun ~started:_ ~finished:_ ->
-      List.iter
-        (fun (c : Queue_pair.completion) ->
-          match Hashtbl.find_opt t.outstanding c.Queue_pair.cookie with
-          | Some pend ->
-            Hashtbl.remove t.outstanding c.Queue_pair.cookie;
-            t.completed <- t.completed + 1;
-            if t.tel_on then
-              Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
-                ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_complete;
-            if t.hops_on then
-              Reflex_obs.Hopsink.stamp t.hops ~tenant:pend.p_tenant
-                ~req:(t.trace_id pend.p_payload) ~hop:3 ~now:(Sim.now t.sim);
-            t.respond
-              {
-                payload = pend.p_payload;
-                kind = c.Queue_pair.kind;
-                nvme_latency = c.Queue_pair.latency;
-              }
-          | None -> ())
-        completions;
+      let _ : int =
+        Queue_pair.drain t.qp ~max:n ~f:(fun ~cookie ~kind ~latency ->
+            match Hashtbl.find_opt t.outstanding cookie with
+            | Some pend ->
+              Hashtbl.remove t.outstanding cookie;
+              t.completed <- t.completed + 1;
+              if t.tel_on then
+                Telemetry.span t.tel ~now:(Sim.now t.sim) ~tenant:pend.p_tenant
+                  ~req_id:(t.trace_id pend.p_payload) Telemetry.Stage.Nvme_complete;
+              if t.hops_on then
+                Reflex_obs.Hopsink.stamp t.hops ~tenant:pend.p_tenant
+                  ~req:(t.trace_id pend.p_payload) ~hop:3 ~now:(Sim.now t.sim);
+              t.respond { payload = pend.p_payload; kind; nvme_latency = latency }
+            | None -> ())
+      in
       finish_cycle t)
 
 and finish_cycle t =

@@ -84,6 +84,10 @@ let push t ~time ~seq v =
 
 let peek t = if t.size = 0 then None else Some (t.times.(0), t.seqs.(0), t.values.(0))
 
+(* Allocation-free peek for hot callers that only need the root's key
+   ([Wheel]'s overflow checks): no option, no tuple. *)
+let peek_time t = if t.size = 0 then Time.infinity else t.times.(0)
+
 (* Remove and return the root; requires [t.size > 0]. *)
 let remove_top t =
   let rtime = t.times.(0) and rseq = t.seqs.(0) and rv = t.values.(0) in

@@ -23,6 +23,11 @@ val push : 'a t -> time:Time.t -> seq:int -> 'a -> unit
 (** Smallest element, or [None] when empty. *)
 val peek : 'a t -> (Time.t * int * 'a) option
 
+(** The smallest element's time, [Time.infinity] when empty.  Unlike
+    {!peek} this allocates nothing — for hot callers that only compare
+    the root against a horizon before deciding to pop. *)
+val peek_time : 'a t -> Time.t
+
 (** Remove and return the smallest element. *)
 val pop : 'a t -> (Time.t * int * 'a) option
 

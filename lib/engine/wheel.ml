@@ -171,12 +171,15 @@ let pull_overflow t =
   let horizon_slots = (t.wcur lsr 34) + 256 in
   let continue = ref true in
   while !continue do
-    match Heap.peek t.ovf with
-    | Some (tm, sq, v)
-      when Int64.compare tm wheel_time_max < 0 && Int64.to_int tm lsr 34 < horizon_slots ->
-      ignore (Heap.pop t.ovf);
-      wheel_push_in t (Int64.to_int tm) sq v
-    | _ -> continue := false
+    (* key-only peek first: the common "nothing to pull" probe allocates
+       nothing; the pop's tuple is paid only for entries actually moved *)
+    let tm = Heap.peek_time t.ovf in
+    if Int64.compare tm wheel_time_max < 0 && Int64.to_int tm lsr 34 < horizon_slots then begin
+      match Heap.pop t.ovf with
+      | Some (tm, sq, v) -> wheel_push_in t (Int64.to_int tm) sq v
+      | None -> continue := false
+    end
+    else continue := false
   done
 
 (* Redistribute the chain of level-[l] slot [s] one level down.  By the
@@ -285,18 +288,17 @@ let ensure t =
       if t.heads.(row) >= 0 then drain_slot0 t row else step t
     end
     else begin
-      (* only the overflow heap holds entries *)
-      match Heap.peek t.ovf with
-      | Some (tm, _, _) ->
-        if Int64.compare tm wheel_time_max < 0 then begin
-          (* rebase the cursor onto the earliest overflow entry *)
-          let ti = Int64.to_int tm in
-          let aligned = ti lsr 10 lsl 10 in
-          if aligned > t.wcur then t.wcur <- aligned;
-          pull_overflow t
-        end
-        else res := 2
-      | None -> res := 0
+      (* only the overflow heap holds entries; key-only peek, no alloc *)
+      let tm = Heap.peek_time t.ovf in
+      if Heap.is_empty t.ovf then res := 0
+      else if Int64.compare tm wheel_time_max < 0 then begin
+        (* rebase the cursor onto the earliest overflow entry *)
+        let ti = Int64.to_int tm in
+        let aligned = ti lsr 10 lsl 10 in
+        if aligned > t.wcur then t.wcur <- aligned;
+        pull_overflow t
+      end
+      else res := 2
     end
   done;
   !res
@@ -337,13 +339,16 @@ let pop_if_le t ~until =
       Some (Int64.of_int tm, t.r_seq.(i), t.r_val.(i))
     end
     else None
-  | 2 -> begin
-    match Heap.peek t.ovf with
-    | Some (tm, _, _) when Time.compare tm until <= 0 ->
+  | 2 ->
+    (* key-only peek: the miss case (min beyond horizon) allocates
+       nothing; [peek_time] is [infinity] on an empty heap, and
+       [until < infinity] for any real horizon, so the guard also
+       rejects the empty case *)
+    if (not (Heap.is_empty t.ovf)) && Time.compare (Heap.peek_time t.ovf) until <= 0 then begin
       t.total <- t.total - 1;
       Heap.pop t.ovf
-    | _ -> None
-  end
+    end
+    else None
   | _ -> None
 
 let clear t =

@@ -116,7 +116,9 @@ let pick_die t =
   let n = Array.length t.dies in
   let i = Prng.int t.prng n in
   let j = Prng.int t.prng n in
-  let i, j = if t.faulty then (healthy_die t i, healthy_die t j) else (i, j) in
+  (* no tuple: this runs once per read dispatch *)
+  let i = if t.faulty then healthy_die t i else i in
+  let j = if t.faulty then healthy_die t j else j in
   if Time.(t.die_work.(i) <= t.die_work.(j)) then i else j
 
 let run_on_die t ~die ~priority ~service k =

@@ -1,15 +1,59 @@
 type completion = { cookie : int; kind : Io_op.kind; latency : Reflex_engine.Time.t }
 
+(* The completion queue is a structure-of-arrays ring, not a [Queue.t]
+   of records: the interrupt path writes three array slots and bumps the
+   tail, so completion delivery allocates nothing in steady state.  The
+   ring starts at [sq_depth] (one CQ entry per inflight command) and
+   doubles in the cold [cq_grow] helper if reaping ever lags submission
+   by more than a full ring. *)
 type t = {
   dev : Nvme_model.t;
-  cq : completion Queue.t;
+  mutable cq_cookie : int array;
+  mutable cq_kind : Io_op.kind array;
+  mutable cq_lat : Reflex_engine.Time.t array;
+  mutable cq_mask : int;
+  mutable cq_head : int;
+  mutable cq_len : int;
   mutable inflight : int;
   mutable completion_hook : unit -> unit;
 }
 
-let create dev = { dev; cq = Queue.create (); inflight = 0; completion_hook = (fun () -> ()) }
+let create dev =
+  let depth = (Nvme_model.profile dev).Device_profile.sq_depth in
+  let size = ref 16 in
+  while !size < depth do size := !size * 2 done;
+  {
+    dev;
+    cq_cookie = Array.make !size 0;
+    cq_kind = Array.make !size Io_op.Read;
+    cq_lat = Array.make !size Reflex_engine.Time.zero;
+    cq_mask = !size - 1;
+    cq_head = 0;
+    cq_len = 0;
+    inflight = 0;
+    completion_hook = (fun () -> ());
+  }
 
 let set_completion_hook t f = t.completion_hook <- f
+
+(* Cold: only when unreaped completions fill the ring. *)
+let cq_grow t =
+  let old = t.cq_mask + 1 in
+  let size = old * 2 in
+  let cookie = Array.make size 0 in
+  let kind = Array.make size Io_op.Read in
+  let lat = Array.make size Reflex_engine.Time.zero in
+  for k = 0 to t.cq_len - 1 do
+    let i = (t.cq_head + k) land t.cq_mask in
+    cookie.(k) <- t.cq_cookie.(i);
+    kind.(k) <- t.cq_kind.(i);
+    lat.(k) <- t.cq_lat.(i)
+  done;
+  t.cq_cookie <- cookie;
+  t.cq_kind <- kind;
+  t.cq_lat <- lat;
+  t.cq_mask <- size - 1;
+  t.cq_head <- 0
 
 let submit t ~kind ~bytes ~cookie =
   let depth = (Nvme_model.profile t.dev).Device_profile.sq_depth in
@@ -18,20 +62,31 @@ let submit t ~kind ~bytes ~cookie =
     t.inflight <- t.inflight + 1;
     Nvme_model.submit t.dev ~kind ~bytes (fun ~latency ->
         t.inflight <- t.inflight - 1;
-        Queue.add { cookie; kind; latency } t.cq;
+        if t.cq_len > t.cq_mask then cq_grow t;
+        let i = (t.cq_head + t.cq_len) land t.cq_mask in
+        t.cq_cookie.(i) <- cookie;
+        t.cq_kind.(i) <- kind;
+        t.cq_lat.(i) <- latency;
+        t.cq_len <- t.cq_len + 1;
         t.completion_hook ());
     `Ok
   end
 
+let drain t ~max ~f =
+  let n = if max < t.cq_len then max else t.cq_len in
+  for _ = 1 to n do
+    let i = t.cq_head in
+    t.cq_head <- (i + 1) land t.cq_mask;
+    t.cq_len <- t.cq_len - 1;
+    f ~cookie:t.cq_cookie.(i) ~kind:t.cq_kind.(i) ~latency:t.cq_lat.(i)
+  done;
+  n
+
 let poll t ~max =
-  let rec take acc n =
-    if n = 0 then List.rev acc
-    else
-      match Queue.take_opt t.cq with
-      | None -> List.rev acc
-      | Some c -> take (c :: acc) (n - 1)
-  in
-  take [] max
+  let acc = ref [] in
+  ignore
+    (drain t ~max ~f:(fun ~cookie ~kind ~latency -> acc := { cookie; kind; latency } :: !acc));
+  List.rev !acc
 
 let inflight t = t.inflight
-let completions_pending t = Queue.length t.cq
+let completions_pending t = t.cq_len

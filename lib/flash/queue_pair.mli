@@ -17,8 +17,16 @@ val create : Nvme_model.t -> t
     queue is at depth (the caller must retry later), [`Ok] otherwise. *)
 val submit : t -> kind:Io_op.kind -> bytes:int -> cookie:int -> [ `Ok | `Full ]
 
+(** [drain t ~max ~f] removes up to [max] completions oldest-first,
+    applying [f] to each in place; returns the number drained.  The
+    zero-allocation reap path: the dataplane's per-cycle loop (paper
+    §3.2's polling step) uses this, never {!poll}. *)
+val drain :
+  t -> max:int -> f:(cookie:int -> kind:Io_op.kind -> latency:Time.t -> unit) -> int
+
 (** [poll t ~max] removes and returns up to [max] completions, oldest
-    first. *)
+    first.  Allocates the returned list — a convenience for tests and
+    tooling; hot callers use {!drain}. *)
 val poll : t -> max:int -> completion list
 
 (** Commands submitted but not yet reaped. *)

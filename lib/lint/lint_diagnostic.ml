@@ -1,9 +1,27 @@
 (* A single lint finding, formatted compiler-style so editors and CI can
    jump straight to it: [file:line:col: error [rule-id] message]. *)
 
-type t = { file : string; line : int; col : int; rule : string; message : string }
+type step = { st_name : string; st_file : string; st_line : int }
 
-let make ~file ~line ~col ~rule message = { file; line; col; rule; message }
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  (* Interprocedural findings carry the propagation path (seed/sink
+     first, terminal site last); empty for per-file findings.  The chain
+     is what lets a reviewer name the edge to waive and what
+     [--explain <rule-id>] expands with per-hop locations. *)
+  chain : step list;
+}
+
+let make ?(chain = []) ~file ~line ~col ~rule message = { file; line; col; rule; message; chain }
+
+let step ~name ~file ~line = { st_name = name; st_file = file; st_line = line }
+
+(* "via a -> b -> c" — the compact form embedded in messages. *)
+let chain_to_string chain = String.concat " -> " (List.map (fun s -> s.st_name) chain)
 
 let compare a b =
   match String.compare a.file b.file with
@@ -35,6 +53,19 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* The chain is emitted only when present so per-file findings keep the
+   PR 5 rendering byte-for-byte. *)
 let to_json d =
-  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
-    (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.message)
+  let base =
+    Printf.sprintf {|"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"|}
+      (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.message)
+  in
+  if d.chain = [] then "{" ^ base ^ "}"
+  else
+    Printf.sprintf {|{%s,"chain":[%s]}|} base
+      (String.concat ","
+         (List.map
+            (fun s ->
+              Printf.sprintf {|{"fn":"%s","file":"%s","line":%d}|} (json_escape s.st_name)
+                (json_escape s.st_file) s.st_line)
+            d.chain))

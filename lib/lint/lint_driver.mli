@@ -1,26 +1,43 @@
-(** Lint orchestration: discovery, rule passes, waiver/manifest
-    filtering, deterministic rendering. *)
+(** Lint orchestration: discovery, per-file rule passes (fanned across
+    domains), call-graph construction, interprocedural passes,
+    waiver/manifest filtering, deterministic rendering.  Reports are
+    byte-identical for any [jobs] value. *)
 
 type report = {
   findings : Lint_diagnostic.t list;  (** sorted, waiver/manifest-filtered *)
   files_scanned : int;
   waivers_used : int;
   rules : string list;
+  gstats : Lint_interproc.stats option;
+      (** call-graph pass statistics; [None] for single-source runs *)
 }
 
 val clean : report -> bool
 
 (** Lint every [.ml] under [paths] (default [lib bin bench], resolved
     against [root]).  The manifest is loaded from [manifest_path]; a
-    missing or malformed manifest yields [lint/manifest] findings. *)
-val run : ?paths:string list -> root:string -> manifest_path:string -> unit -> report
+    missing or malformed manifest yields [lint/manifest] findings.
+    [jobs] (default 1) fans the per-file stage across domains. *)
+val run :
+  ?paths:string list -> ?jobs:int -> root:string -> manifest_path:string -> unit -> report
+
+(** {!run}, also returning the call graph and the hot-set membership
+    predicate (by node id) for [--callgraph-out] exports. *)
+val run_full :
+  ?paths:string list ->
+  ?jobs:int ->
+  root:string ->
+  manifest_path:string ->
+  unit ->
+  report * Lint_callgraph.t * (string -> bool)
 
 (** Lint one in-memory source against a given manifest (fixture tests).
-    Runs the AST families only — not [iface/mli], which needs the
-    filesystem. *)
+    Runs the AST families only — not [iface/mli] or the interprocedural
+    passes, which need the filesystem / the whole tree. *)
 val run_on_source : manifest:Lint_manifest.t -> Lint_source.t -> report
 
-(** Compiler-style text report plus a one-line summary. *)
+(** Compiler-style text report plus a one-line summary (and a call-graph
+    stats line when the interprocedural passes ran). *)
 val to_text : report -> string
 
 (** Machine-readable report (hand-rolled JSON, stable field order). *)

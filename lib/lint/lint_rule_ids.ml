@@ -2,11 +2,16 @@
    anything outside this list are themselves findings — a typo in a
    waiver must not silently disable nothing. *)
 
-let determinism = [ "det/random"; "det/clock"; "det/marshal"; "det/hashtbl-order" ]
+let determinism = [ "det/random"; "det/clock"; "det/marshal"; "det/hashtbl-order"; "det/taint" ]
 let domain_safety = [ "dom/toplevel-state" ]
-let guards = [ "guard/telemetry" ]
-let hot_path = [ "hot/alloc" ]
+let guards = [ "guard/telemetry"; "guard/transitive" ]
+let hot_path = [ "hot/alloc"; "hot/transitive-alloc"; "hot/drift" ]
 let interface = [ "iface/mli" ]
+
+(* Rule-ids produced by the interprocedural (call-graph) passes rather
+   than the per-file scans.  A waiver naming one of these that matches no
+   finding is itself stale policy and reported as [lint/bad-waiver]. *)
+let interprocedural = [ "det/taint"; "guard/transitive"; "hot/transitive-alloc"; "hot/drift" ]
 
 (* Internal rule-ids attached to problems with the lint inputs themselves
    (unparseable source, malformed waiver or manifest line).  They are not
@@ -20,3 +25,57 @@ let is_internal id = List.mem id internal
 (* Construct names accepted by a [hot_path ... allow=...] manifest clause
    (see Lint_rules.hot-path family for what each one matches). *)
 let alloc_constructs = [ "tuple"; "record"; "closure"; "list"; "array"; "printf"; "string"; "lazy" ]
+
+(* One-paragraph explanations, printed by [reflex_lint --explain ID]. *)
+let describe = function
+  | "det/random" ->
+    "ambient PRNG use (Random.int & friends without an explicit State.t); the simulator's \
+     reproducibility contract requires every random stream to be seeded and threaded \
+     explicitly"
+  | "det/clock" ->
+    "wall-clock read (Unix.gettimeofday / Sys.time / Unix.time) in simulation code; virtual \
+     time must come from Sim.now so runs replay bit-identically"
+  | "det/marshal" ->
+    "Marshal use; its byte output varies across compiler versions and sharing settings, \
+     breaking golden-file and cross-version comparisons"
+  | "det/hashtbl-order" ->
+    "iteration over an unsorted Hashtbl (iter/fold/to_seq without a nearby sort); bucket \
+     order depends on insertion history and hash seeding, so dependent output is \
+     nondeterministic"
+  | "det/taint" ->
+    "interprocedural determinism taint: a byte-identity-checked render (a manifest \
+     identity_sink) transitively reaches a nondeterminism source (PRNG, wall clock, \
+     Marshal, unsorted Hashtbl iteration) through the call graph; the finding's chain \
+     lists each hop from the sink down to the source site"
+  | "dom/toplevel-state" ->
+    "mutable toplevel state (ref/Hashtbl/Buffer/array/Mutex at module level) without a \
+     manifest domain_safe entry; shared mutable state needs an explicit ownership story \
+     under OCaml 5 domains"
+  | "guard/telemetry" ->
+    "effectful Telemetry/Monitor call not dominated by an enabled/armed guard in the same \
+     function; dataplane code must skip telemetry work when it is switched off"
+  | "guard/transitive" ->
+    "interprocedural guard propagation: an unguarded path from hot-set code reaches an \
+     effectful telemetry call in a callee (often through a module alias the per-file rule \
+     cannot see); some hop on the chain must test the enabled-guard"
+  | "hot/alloc" ->
+    "allocation (tuple/record/closure/list/array/printf/string/lazy) inside a function the \
+     manifest declares hot_path, outside its allow= list; hot-path code must not allocate \
+     per operation"
+  | "hot/transitive-alloc" ->
+    "allocation in a function reachable from a hot_path seed over applied, unguarded call \
+     edges but absent from the manifest; either the callee is genuinely hot (give it a \
+     hot_path entry or hoist the allocation) or the closure descended a cold branch (mark \
+     the helper cold_path)"
+  | "hot/drift" ->
+    "a manifest hot_path entry whose function is referenced nowhere in the scanned tree; \
+     the policy has drifted from the code — delete or re-point the entry"
+  | "iface/mli" ->
+    "a .ml without a matching .mli and no manifest iface_exempt entry; every module \
+     exports a curated interface"
+  | "lint/parse-error" -> "the file does not parse; nothing else can be checked"
+  | "lint/bad-waiver" ->
+    "malformed, unknown-rule, reason-less, or stale waiver comment; a waiver that \
+     suppresses nothing must not linger"
+  | "lint/manifest" -> "malformed or drifted lint.manifest line"
+  | id -> Printf.sprintf "unknown rule-id %S" id

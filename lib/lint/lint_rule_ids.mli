@@ -6,6 +6,12 @@ val guards : string list
 val hot_path : string list
 val interface : string list
 
+(** Rule-ids produced by the interprocedural call-graph passes
+    ([det/taint], [guard/transitive], [hot/transitive-alloc],
+    [hot/drift]).  Waivers on these that suppress nothing are stale and
+    reported as [lint/bad-waiver]. *)
+val interprocedural : string list
+
 (** Rule-ids for problems with the lint inputs themselves (parse errors,
     malformed waivers/manifest lines).  Never waivable. *)
 val internal : string list
@@ -18,3 +24,6 @@ val is_internal : string -> bool
 
 (** Construct names accepted by [hot_path ... allow=...]. *)
 val alloc_constructs : string list
+
+(** One-paragraph explanation of a rule-id ([reflex_lint --explain]). *)
+val describe : string -> string

@@ -235,13 +235,20 @@ let check_toplevel_state ~file ~(manifest : Lint_manifest.t) str =
 
 (* ---------------- zero-overhead guards ---------------- *)
 
-let effectful_telemetry lid =
-  match (lid_head lid, lid_last lid) with
+(* Keyed on (module head, function name) so both the syntactic per-file
+   rule (raw longident) and the interprocedural pass (alias-expanded
+   path) share one definition of "effectful". *)
+let effectful_telemetry_path parts =
+  let head = match parts with h :: _ -> h | [] -> "" in
+  let last = match List.rev parts with l :: _ -> l | [] -> "" in
+  match (head, last) with
   | "Telemetry", ("span" | "decision" | "incr" | "add" | "record_tenant_latency" | "fault_mark" | "sample")
     ->
     true
   | "Monitor", "tick" -> true
   | _ -> false
+
+let effectful_telemetry lid = effectful_telemetry_path (lid_parts lid)
 
 let is_guard_name s =
   s = "enabled" || s = "armed"
@@ -325,6 +332,26 @@ let rec strip_params e =
   | Pexp_newtype (_, body) -> strip_params body
   | _ -> e
 
+(* The body expressions of a definition: [let f a b = e] yields [e];
+   [let f = function A -> e1 | B -> e2] yields the case bodies (and
+   when-guards) — the [function] node is the function itself, not a
+   closure it allocates per call. *)
+let rec def_bodies e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> def_bodies body
+  | Pexp_function cases ->
+    List.concat_map
+      (fun c -> (match c.pc_guard with Some g -> [ g ] | None -> []) @ [ c.pc_rhs ])
+      cases
+  | _ -> [ e ]
+
+(* Arguments of these evaluate only when the program is about to raise:
+   error-path work, never hot. *)
+let is_raise_head lid =
+  match lid_parts lid with
+  | [ f ] -> List.mem f [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+  | _ -> false
+
 let check_hot_alloc ~file ~(manifest : Lint_manifest.t) str =
   let entries = Lint_manifest.hot_path_funcs manifest ~path:file in
   if entries = [] then []
@@ -339,7 +366,6 @@ let check_hot_alloc ~file ~(manifest : Lint_manifest.t) str =
           | None -> ()
           | Some entry ->
             Hashtbl.replace seen n ();
-            let body = strip_params vb.pvb_expr in
             (* Custom walk: skip branches of telemetry-guard conditionals
                (they are off the telemetry-disabled hot path), honor the
                entry's allow= construct list. *)
@@ -361,6 +387,10 @@ let check_hot_alloc ~file ~(manifest : Lint_manifest.t) str =
                   walk t;
                   Option.iter walk eo
                 end
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, _)
+                when is_raise_head lid ->
+                (* error-path: the arguments evaluate only when raising *)
+                ()
               | _ ->
                 let it =
                   {
@@ -370,7 +400,7 @@ let check_hot_alloc ~file ~(manifest : Lint_manifest.t) str =
                 in
                 Ast_iterator.default_iterator.expr it e
             in
-            walk body));
+            List.iter walk (def_bodies vb.pvb_expr)));
     List.iter
       (fun h ->
         if not (Hashtbl.mem seen h.Lint_manifest.h_func) then

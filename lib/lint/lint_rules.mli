@@ -9,3 +9,45 @@ val check : manifest:Lint_manifest.t -> Lint_source.t -> Lint_diagnostic.t list
 (** Interface hygiene: flag a [.ml] with no matching [.mli] unless
     manifest-exempted.  The driver supplies the filesystem fact. *)
 val check_iface : manifest:Lint_manifest.t -> rel:string -> has_mli:bool -> Lint_diagnostic.t list
+
+(**/**)
+
+(** Shared AST primitives, reused by {!Lint_callgraph} so the
+    interprocedural passes classify sites exactly like the per-file
+    rules do. *)
+
+val lid_parts : Longident.t -> string list
+val lid_head : Longident.t -> string
+val lid_last : Longident.t -> string
+val lid_string : Longident.t -> string
+val pos_of : Location.t -> int * int
+
+(** Wall-clock read paths recognised by [det/clock] (and as taint
+    sources). *)
+val clock_paths : string list
+
+val is_hashtbl_iter : Longident.t -> bool
+val is_sort_name : string -> bool
+
+(** Is this conditional's condition an enabled/armed/[*_on] guard? *)
+val is_guard_expr : Parsetree.expression -> bool
+
+(** [Telemetry]/[Monitor] calls that record when enabled, keyed on the
+    dotted path (module head and function name). *)
+val effectful_telemetry_path : string list -> bool
+
+(** Classify an expression node as an allocating construct:
+    [(construct, loc, detail)]. *)
+val alloc_construct : Parsetree.expression -> (string * Location.t * string) option
+
+(** Strip the leading parameter chain of a [let f a b = ...] body. *)
+val strip_params : Parsetree.expression -> Parsetree.expression
+
+(** Like {!strip_params}, but a definition written [let f = function ...]
+    yields all case bodies (the [function] node is the function itself,
+    not a per-call closure). *)
+val def_bodies : Parsetree.expression -> Parsetree.expression list
+
+(** [raise]/[failwith]/[invalid_arg]: argument subtrees evaluate only on
+    the error path and are excluded from hot-path allocation scans. *)
+val is_raise_head : Longident.t -> bool

@@ -18,12 +18,24 @@ let read_file path =
   close_in ic;
   text
 
+(* compiler-libs' parser touches shared global state (Location's input
+   bookkeeping, error formatting); serialize parses so Lint_driver's
+   domain fan-out stays safe.  Everything downstream of the parse is
+   pure per-file work and runs unlocked. *)
+let parse_mutex = Mutex.create ()
+
 let parse ~rel text =
   let lexbuf = Lexing.from_string text in
   Lexing.set_filename lexbuf rel;
-  match Parse.implementation lexbuf with
-  | ast -> (Some ast, [])
-  | exception exn ->
+  let parsed =
+    Mutex.lock parse_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock parse_mutex)
+      (fun () -> try Ok (Parse.implementation lexbuf) with exn -> Error exn)
+  in
+  match parsed with
+  | Ok ast -> (Some ast, [])
+  | Error exn ->
     let line, col, msg =
       match Location.error_of_exn exn with
       | Some (`Ok err) ->

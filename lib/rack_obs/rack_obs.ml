@@ -97,52 +97,51 @@ let corr_create cap =
   while !size < 2 * cap do size := !size * 2 done;
   { c_mask = !size - 1; c_keys = Array.make !size (-1); c_slots = Array.make !size 0 }
 
+(* The probe loops live at toplevel (parameters threaded explicitly, no
+   environment capture) so the per-request trace path allocates nothing:
+   a local [let rec] inside the function would build a closure on every
+   call. *)
+let rec corr_put_from keys slots mask key slot i =
+  let k = keys.(i) in
+  if k = -1 || k = key then begin
+    keys.(i) <- key;
+    slots.(i) <- slot
+  end
+  else corr_put_from keys slots mask key slot ((i + 1) land mask)
+
 let corr_put c key slot =
-  let mask = c.c_mask in
-  let rec go i =
-    let k = c.c_keys.(i) in
-    if k = -1 || k = key then begin
-      c.c_keys.(i) <- key;
-      c.c_slots.(i) <- slot
-    end
-    else go ((i + 1) land mask)
-  in
-  go (corr_hash key mask)
+  corr_put_from c.c_keys c.c_slots c.c_mask key slot (corr_hash key c.c_mask)
+
+let rec corr_find_from keys slots mask key i =
+  let k = keys.(i) in
+  if k = key then slots.(i) else if k = -1 then -1 else corr_find_from keys slots mask key ((i + 1) land mask)
 
 (* [-1] when absent. *)
-let corr_find c key =
-  let mask = c.c_mask in
-  let rec go i =
-    let k = c.c_keys.(i) in
-    if k = key then c.c_slots.(i) else if k = -1 then -1 else go ((i + 1) land mask)
-  in
-  go (corr_hash key mask)
+let corr_find c key = corr_find_from c.c_keys c.c_slots c.c_mask key (corr_hash key c.c_mask)
+
+let rec corr_index_of keys mask key i =
+  let k = keys.(i) in
+  if k = key then i else if k = -1 then -1 else corr_index_of keys mask key ((i + 1) land mask)
+
+(* Backward-shift deletion: pull every displaced successor over the hole
+   so probe chains never need tombstones. *)
+let rec corr_shift keys slots mask hole j =
+  let k = keys.(j) in
+  if k = -1 then keys.(hole) <- -1
+  else begin
+    let ideal = corr_hash k mask in
+    if (j - ideal) land mask >= (j - hole) land mask then begin
+      keys.(hole) <- k;
+      slots.(hole) <- slots.(j);
+      corr_shift keys slots mask j ((j + 1) land mask)
+    end
+    else corr_shift keys slots mask hole ((j + 1) land mask)
+  end
 
 let corr_remove c key =
   let mask = c.c_mask in
-  let rec find i =
-    let k = c.c_keys.(i) in
-    if k = key then i else if k = -1 then -1 else find ((i + 1) land mask)
-  in
-  let i = find (corr_hash key mask) in
-  if i >= 0 then begin
-    (* Backward-shift: pull every displaced successor over the hole so
-       probe chains never need tombstones. *)
-    let rec shift hole j =
-      let k = c.c_keys.(j) in
-      if k = -1 then c.c_keys.(hole) <- -1
-      else begin
-        let ideal = corr_hash k mask in
-        if (j - ideal) land mask >= (j - hole) land mask then begin
-          c.c_keys.(hole) <- k;
-          c.c_slots.(hole) <- c.c_slots.(j);
-          shift j ((j + 1) land mask)
-        end
-        else shift hole ((j + 1) land mask)
-      end
-    in
-    shift i ((i + 1) land mask)
-  end
+  let i = corr_index_of c.c_keys mask key (corr_hash key mask) in
+  if i >= 0 then corr_shift c.c_keys c.c_slots mask i ((i + 1) land mask)
 
 type t = {
   sim : Sim.t;

@@ -24,6 +24,10 @@ let create () =
    intermediate, and this sits on the per-request latency-record path.
    [Int64.to_int] is exact for v < 2^62; larger values (which the old
    int64 loop indexed out of bounds) clamp to the top bucket. *)
+(* exponent = position of the highest set bit; lives at toplevel so the
+   per-record path does not allocate a closure for it *)
+let rec msb acc x = if x <= 1 then acc else msb (acc + 1) (x lsr 1)
+
 let index_of v =
   let vi =
     (* 0x3FFF_FFFF_FFFF_FFFFL = max_int on 64-bit *)
@@ -31,8 +35,6 @@ let index_of v =
   in
   if vi < sub_count then vi
   else begin
-    (* exponent = position of the highest set bit *)
-    let rec msb acc x = if x <= 1 then acc else msb (acc + 1) (x lsr 1) in
     let e = msb 0 vi in
     let shift = e - sub_bits in
     let sub = (vi lsr shift) land (sub_count - 1) in

@@ -91,9 +91,22 @@ let rec find_lint_root dir =
     if parent = dir then failwith "lint.manifest not found above cwd"
     else find_lint_root parent
 
+(* Runs the full pass twice — serial (timed) and with --jobs 2 — and
+   byte-compares the rendered reports: the linter's own determinism
+   contract (reports are byte-identical for any --jobs) is part of the
+   smoke gate. *)
 let run_lint () =
   let root = find_lint_root (Sys.getcwd ()) in
-  Lint_driver.run ~root ~manifest_path:(Filename.concat root "lint.manifest") ()
+  let manifest_path = Filename.concat root "lint.manifest" in
+  let t0 = Unix.gettimeofday () in
+  let r = Lint_driver.run ~root ~manifest_path () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let r2 = Lint_driver.run ~jobs:2 ~root ~manifest_path () in
+  let jobs_eq =
+    Lint_driver.to_text r = Lint_driver.to_text r2
+    && Lint_driver.to_json r = Lint_driver.to_json r2
+  in
+  (r, wall, jobs_eq)
 
 (* ---------------- Event-core speed gate ---------------- *)
 
@@ -364,7 +377,7 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
     ~backend_sweep_eq ~o_inert_eps ~o_armed_eps ~o_churn_pct ~o_ns_per_record ~o_identical
     ~o_on_s ~o_wall_pct ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~rack_n ~rack_eps
     ~rack_migrations ~ro_inert_eps ~ro_armed_eps ~ro_overhead_pct ~ro_ns ~ro_traced
-    ~ro_tiling_ok ~(lint : Lint_driver.report) =
+    ~ro_tiling_ok ~(lint : Lint_driver.report) ~lint_wall_s ~lint_jobs_eq =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"seed\": %Ld,\n" world_seed;
@@ -427,6 +440,20 @@ let write_json path ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct
   Printf.fprintf oc "    \"files_scanned\": %d,\n" lint.Lint_driver.files_scanned;
   Printf.fprintf oc "    \"rule_count\": %d,\n" (List.length lint.Lint_driver.rules);
   Printf.fprintf oc "    \"waivers_used\": %d,\n" lint.Lint_driver.waivers_used;
+  Printf.fprintf oc "    \"wall_s\": %.3f,\n" lint_wall_s;
+  Printf.fprintf oc "    \"jobs2_identical\": %b,\n" lint_jobs_eq;
+  (match lint.Lint_driver.gstats with
+  | Some g ->
+    Printf.fprintf oc "    \"callgraph\": {\n";
+    Printf.fprintf oc "      \"nodes\": %d,\n" g.Lint_interproc.gs_nodes;
+    Printf.fprintf oc "      \"edges\": %d,\n" g.Lint_interproc.gs_edges;
+    Printf.fprintf oc "      \"hot_seeds\": %d,\n" g.Lint_interproc.gs_hot_seeds;
+    Printf.fprintf oc "      \"hot_inferred\": %d,\n" g.Lint_interproc.gs_hot_inferred;
+    Printf.fprintf oc "      \"taint_sources\": %d,\n" g.Lint_interproc.gs_taint_sources;
+    Printf.fprintf oc "      \"taint_tainted\": %d,\n" g.Lint_interproc.gs_taint_tainted;
+    Printf.fprintf oc "      \"identity_sinks\": %d\n" g.Lint_interproc.gs_identity_sinks;
+    Printf.fprintf oc "    },\n"
+  | None -> ());
   Printf.fprintf oc "    \"finding_count\": %d\n" (List.length lint.Lint_driver.findings);
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"points\": [\n";
@@ -724,20 +751,33 @@ let () =
     print_endline "bench smoke FAILED: armed rack tracer exceeds the 10% events/sec gate"
   else
     print_endline "bench smoke FAILED: traced rack dispatch fell below the baseline floor";
-  (* Static-analysis gate: the live tree must lint clean, and the counts
-     land in BENCH_SMOKE.json for trend tracking. *)
-  let lint = run_lint () in
+  (* Static-analysis gate: the live tree must lint clean, serial and
+     --jobs 2 reports must be byte-identical, and the counts (including
+     call-graph statistics) land in BENCH_SMOKE.json for trend tracking. *)
+  let lint, lint_wall_s, lint_jobs_eq = run_lint () in
   let lint_clean = Lint_driver.clean lint in
-  Printf.printf "[lint: %d file(s), %d rule(s), %d finding(s), %d waiver(s)]\n"
+  Printf.printf "[lint: %d file(s), %d rule(s), %d finding(s), %d waiver(s), %.3f s]\n"
     lint.Lint_driver.files_scanned
     (List.length lint.Lint_driver.rules)
     (List.length lint.Lint_driver.findings)
-    lint.Lint_driver.waivers_used;
+    lint.Lint_driver.waivers_used lint_wall_s;
+  (match lint.Lint_driver.gstats with
+  | Some g ->
+    Printf.printf
+      "[lint callgraph: %d node(s), %d edge(s), hot %d+%d, taint %d source(s) -> %d, %d \
+       sink(s)]\n"
+      g.Lint_interproc.gs_nodes g.Lint_interproc.gs_edges g.Lint_interproc.gs_hot_seeds
+      g.Lint_interproc.gs_hot_inferred g.Lint_interproc.gs_taint_sources
+      g.Lint_interproc.gs_taint_tainted g.Lint_interproc.gs_identity_sinks
+  | None -> ());
   if lint_clean then print_endline "bench smoke OK: reflex-lint reports zero findings"
   else begin
     print_endline "bench smoke FAILED: reflex-lint found violations";
     print_string (Lint_driver.to_text lint)
   end;
+  if lint_jobs_eq then
+    print_endline "bench smoke OK: lint report is byte-identical serial vs --jobs 2"
+  else print_endline "bench smoke FAILED: lint report differs between serial and --jobs 2";
   (match json_path with
   | Some p ->
     write_json p ~rows ~parallel_eq ~wall_parallel ~off_s ~on_s ~overhead_pct ~iops_delta_pct
@@ -747,11 +787,11 @@ let () =
       ~o_sweep_eq ~o_dump_digest ~o_dump_eq ~rack_n ~rack_eps ~rack_migrations
       ~ro_inert_eps ~ro_armed_eps ~ro_overhead_pct ~ro_ns
       ~ro_traced:(Reflex_rack_obs.Rack_obs.traced ro_obs)
-      ~ro_tiling_ok ~lint
+      ~ro_tiling_ok ~lint ~lint_wall_s ~lint_jobs_eq
   | None -> ());
   if
     not
       (parallel_eq && sim_identical && f_identical && m_identical && s_identical
      && backend_sweep_eq && speed_ok && o_identical && o_floor_ok && o_sweep_eq && o_wall_ok
-     && o_dump_eq && rack_ok && rack_obs_ok && lint_clean)
+     && o_dump_eq && rack_ok && rack_obs_ok && lint_clean && lint_jobs_eq)
   then exit 1

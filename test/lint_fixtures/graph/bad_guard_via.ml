@@ -1,0 +1,6 @@
+(* Fixture: alias-resolved telemetry call, unguarded in hot-set code. *)
+module T = Telemetry
+
+let emit s = T.incr s "requests"
+let tick s = emit s
+let () = ignore tick

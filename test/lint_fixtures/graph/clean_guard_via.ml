@@ -1,0 +1,8 @@
+(* Fixture: clean twin — the caller crosses the enabled-guard, so the
+   guarded edge discharges the callee's telemetry obligation. *)
+module T = Telemetry
+
+let tel_on = false
+let emit s = T.incr s "requests"
+let tick s = if tel_on then emit s
+let () = ignore tick

@@ -1,0 +1,3 @@
+(* Fixture: [grow] allocates but is cold_path policy; [bump] is clean. *)
+let grow x = (x, x)
+let bump x = if x > 7 then fst (grow x) else x

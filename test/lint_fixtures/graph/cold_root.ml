@@ -1,0 +1,3 @@
+(* Fixture: clean twin — the allocating helper is a cold_path stop. *)
+let loop x = Cold_helper.bump x
+let () = ignore (loop 5)

@@ -1,0 +1,4 @@
+(* Fixture: clean twin — [kept] is still referenced. *)
+let kept x = x + 1
+let use_kept x = kept x
+let () = ignore (use_kept 2)

@@ -1,0 +1,3 @@
+(* Fixture: [orphan] has a hot_path entry but is referenced nowhere —
+   the entry must be reported as hot/drift at its manifest line. *)
+let orphan x = x + 1

@@ -1,0 +1,3 @@
+(* Fixture: clean twin — the sink's callees are pure. *)
+let fmt x = string_of_int (x + 1)
+let render_clean () = fmt 41

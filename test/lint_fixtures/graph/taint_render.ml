@@ -1,0 +1,5 @@
+(* Fixture: byte-identity sink reaching Random through a module alias
+   the per-file rules cannot see. *)
+module R = Taint_src
+
+let render () = string_of_int (R.noise ())

@@ -1,0 +1,4 @@
+(* Fixture: deliberate nondeterminism source.  det/random is allowed for
+   this file in graph.manifest so the interprocedural det/taint pass —
+   firing at the sink — is what the test observes. *)
+let noise () = Random.int 100

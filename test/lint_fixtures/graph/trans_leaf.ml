@@ -1,0 +1,4 @@
+(* Fixture: second hop; the tuple on line 3 is the inferred finding. *)
+let consume x =
+  let pair = (x, x) in
+  fst pair

@@ -1,0 +1,2 @@
+(* Fixture: first hop of the chain; allocates nothing itself. *)
+let step x = Trans_leaf.consume (x * 2)

@@ -1,0 +1,3 @@
+(* Fixture: seed of the hot/transitive-alloc two-hop chain. *)
+let pump x = Trans_mid.step (x + 1)
+let () = ignore (pump 3)

@@ -1,0 +1,5 @@
+(* Fixture: the tuple below is inferred hot but waived with a reason. *)
+let wconsume x =
+  (* reflex-lint: allow hot/transitive-alloc — fixture: the pair is the contract *)
+  let pair = (x, x) in
+  fst pair

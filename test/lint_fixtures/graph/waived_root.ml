@@ -1,0 +1,4 @@
+(* Fixture: the leaf's inferred alloc carries an inline waiver — the
+   waiver is used, counted, and not stale. *)
+let wpump x = Waived_leaf.wconsume x
+let () = ignore (wpump 1)

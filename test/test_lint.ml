@@ -162,6 +162,109 @@ let test_report_json () =
   Alcotest.(check bool) "finding_count" true (has "\"finding_count\": 1");
   Alcotest.(check bool) "rule id present" true (has "det/random")
 
+(* ---------------- interprocedural passes over the graph fixtures ----- *)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let graph_manifest = "lint_fixtures/graph/graph.manifest"
+
+let run_graph ?(jobs = 1) () =
+  Lint_driver.run ~paths:[ "lint_fixtures/graph" ] ~jobs ~root:(Sys.getcwd ())
+    ~manifest_path:graph_manifest ()
+
+(* One directory run over the fixture mini-tree exercises every inferred
+   family with exact (file, line, rule): a two-hop transitive alloc, a
+   taint chain through a module alias, an alias-resolved unguarded
+   telemetry call, a drifted hot_path entry (anchored at its manifest
+   line), and a stale interprocedural waiver — while each clean twin
+   (cold_path stop, guard in the caller, pure sink callees, referenced
+   entry, used waiver) stays silent. *)
+let test_graph_findings () =
+  let r = run_graph () in
+  let triples =
+    List.map
+      (fun d -> (d.Lint_diagnostic.file, d.Lint_diagnostic.line, d.Lint_diagnostic.rule))
+      r.Lint_driver.findings
+  in
+  Alcotest.(check (list (triple string int string)))
+    "exact findings"
+    [
+      ("lint_fixtures/graph/bad_guard_via.ml", 4, "guard/transitive");
+      ("lint_fixtures/graph/graph.manifest", 12, "hot/drift");
+      ("lint_fixtures/graph/stale_waiver.ml", 1, "lint/bad-waiver");
+      ("lint_fixtures/graph/taint_render.ml", 5, "det/taint");
+      ("lint_fixtures/graph/trans_leaf.ml", 3, "hot/transitive-alloc");
+    ]
+    triples;
+  Alcotest.(check int) "inline waiver on the inferred alloc is used" 1 r.Lint_driver.waivers_used
+
+let test_graph_stats () =
+  let r = run_graph () in
+  match r.Lint_driver.gstats with
+  | None -> Alcotest.fail "directory run must carry call-graph stats"
+  | Some s ->
+    Alcotest.(check int) "hot seeds" 7 s.Lint_interproc.gs_hot_seeds;
+    Alcotest.(check int) "inferred hot" 5 s.Lint_interproc.gs_hot_inferred;
+    Alcotest.(check int) "taint sources" 1 s.Lint_interproc.gs_taint_sources;
+    Alcotest.(check int) "identity sinks" 2 s.Lint_interproc.gs_identity_sinks
+
+(* Inferred findings carry their propagation chain, both structurally and
+   as "via a -> b -> c" in the message. *)
+let test_graph_chains () =
+  let r = run_graph () in
+  let find rule =
+    List.find (fun d -> d.Lint_diagnostic.rule = rule) r.Lint_driver.findings
+  in
+  let names d = List.map (fun s -> s.Lint_diagnostic.st_name) d.Lint_diagnostic.chain in
+  let alloc = find "hot/transitive-alloc" in
+  Alcotest.(check (list string)) "alloc chain"
+    [ "Trans_root.pump"; "Trans_mid.step"; "Trans_leaf.consume" ]
+    (names alloc);
+  Alcotest.(check bool) "alloc message spells the chain" true
+    (contains alloc.Lint_diagnostic.message
+       "via Trans_root.pump -> Trans_mid.step -> Trans_leaf.consume");
+  let taint = find "det/taint" in
+  Alcotest.(check (list string)) "taint chain sink-to-source"
+    [ "Taint_render.render"; "Taint_src.noise"; "Random.int (ambient PRNG)" ]
+    (names taint)
+
+(* The per-file stage fans across domains; merge and filtering are
+   serial, so reports are byte-identical for any --jobs. *)
+let test_graph_jobs_identity () =
+  let a = run_graph () and b = run_graph ~jobs:2 () in
+  Alcotest.(check string) "text identical" (Lint_driver.to_text a) (Lint_driver.to_text b);
+  Alcotest.(check string) "json identical" (Lint_driver.to_json a) (Lint_driver.to_json b)
+
+let test_graph_exports () =
+  let _, g, hot =
+    Lint_driver.run_full ~paths:[ "lint_fixtures/graph" ] ~root:(Sys.getcwd ())
+      ~manifest_path:graph_manifest ()
+  in
+  Alcotest.(check bool) "seed is hot" true (hot "Trans_root.pump");
+  Alcotest.(check bool) "two-hop callee inferred hot" true (hot "Trans_leaf.consume");
+  Alcotest.(check bool) "cold_path stop is not hot" false (hot "Cold_helper.grow");
+  Alcotest.(check bool) "guarded callee is not hot" false (hot "Clean_guard_via.emit");
+  let dot = Lint_callgraph.to_dot ~hot g in
+  Alcotest.(check bool) "dot has the applied edge" true
+    (contains dot "\"Trans_root.pump\" -> \"Trans_mid.step\"");
+  let json = Lint_callgraph.to_json ~hot g in
+  Alcotest.(check bool) "json has the applied edge" true
+    (contains json {|{"from":"Trans_root.pump","to":"Trans_mid.step"|});
+  Alcotest.(check bool) "json marks hot nodes" true
+    (contains json {|{"id":"Trans_mid.step","file":"lint_fixtures/graph/trans_mid.ml","line":2,"hot":true}|})
+
+(* --explain's backing text: every public rule-id has a real description. *)
+let test_rule_descriptions () =
+  List.iter
+    (fun id ->
+      let d = Lint_rule_ids.describe id in
+      Alcotest.(check bool) (id ^ " described") true
+        (String.length d > 40 && not (contains d "unknown rule-id")))
+    Lint_rule_ids.all
+
 (* ---------------- the live tree lints clean ---------------- *)
 
 let rec find_root dir =
@@ -202,6 +305,15 @@ let suite =
       [
         Alcotest.test_case "grammar errors are findings" `Quick test_manifest_errors;
         Alcotest.test_case "hot_path drift is a finding" `Quick test_manifest_drift;
+      ] );
+    ( "callgraph",
+      [
+        Alcotest.test_case "inferred findings, exact (file,line,rule)" `Quick test_graph_findings;
+        Alcotest.test_case "call-graph statistics" `Quick test_graph_stats;
+        Alcotest.test_case "propagation chains" `Quick test_graph_chains;
+        Alcotest.test_case "serial vs --jobs 2 byte-identity" `Quick test_graph_jobs_identity;
+        Alcotest.test_case "dot/json exports and hot marking" `Quick test_graph_exports;
+        Alcotest.test_case "--explain rule descriptions" `Quick test_rule_descriptions;
       ] );
     ( "driver",
       [
